@@ -1,0 +1,219 @@
+package viewsync
+
+// One benchmark per reproduced figure/claim (DESIGN.md §3 maps each to
+// the paper). The benches wrap the experiment harness in
+// internal/experiments; cmd/vsbench prints the same data as tables.
+//
+// Custom metrics reported via b.ReportMetric carry the paper-facing
+// numbers (view counts, message counts, latencies); ns/op is the
+// scenario wall time.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/transfer"
+)
+
+// BenchmarkF1ModeTransitions drives the Figure-1 mode machine through a
+// failure/repair/crash/recovery schedule on the quorum file object.
+func BenchmarkF1ModeTransitions(b *testing.B) {
+	illegal := 0
+	transitions := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunF1(experiments.FastTiming(), int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			illegal += r.IllegalSteps
+			for _, c := range r.Transitions {
+				transitions += c
+			}
+		}
+	}
+	if illegal != 0 {
+		b.Fatalf("%d illegal Figure-1 steps", illegal)
+	}
+	b.ReportMetric(float64(transitions)/float64(b.N), "transitions/run")
+}
+
+// BenchmarkF2StructurePreservation replays Figure 2 (partition + merge)
+// and verifies P6.3 plus all other properties over the trace.
+func BenchmarkF2StructurePreservation(b *testing.B) {
+	var subviews float64
+	for i := 0; i < b.N; i++ {
+		rows, violations, err := experiments.RunF2(experiments.FastTiming(), int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if violations != 0 {
+			b.Fatalf("%d property violations", violations)
+		}
+		final := rows[len(rows)-1]
+		// The two sides must never collapse into one subview without an
+		// application merge; a member arriving via an intermediate view
+		// may add an extra cluster (typically exactly 2).
+		if final.Subviews < 2 {
+			b.Fatalf("merged view has %d subviews: clusters collapsed", final.Subviews)
+		}
+		subviews += float64(final.Subviews)
+	}
+	b.ReportMetric(subviews/float64(b.N), "merged-subviews")
+}
+
+// BenchmarkF3EViewChanges measures Figure 3's e-view change latency
+// (SV-SetMerge then SubviewMerge) in a stable five-member view.
+func BenchmarkF3EViewChanges(b *testing.B) {
+	var svset, subview float64
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunF3(5, experiments.FastTiming(), int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.Violations != 0 {
+			b.Fatalf("%d property violations", row.Violations)
+		}
+		svset += float64(row.SVSetMergeLatency.Microseconds())
+		subview += float64(row.SubviewMergeLatency.Microseconds())
+	}
+	b.ReportMetric(svset/float64(b.N), "svset-merge-µs")
+	b.ReportMetric(subview/float64(b.N), "subview-merge-µs")
+}
+
+// BenchmarkE1MergeViewChanges reproduces the Section-5 claim: absorbing
+// m members costs one view change under the partitionable model and m
+// under Isis's grow-by-one rule; a true partition merge costs one.
+func BenchmarkE1MergeViewChanges(b *testing.B) {
+	for _, m := range []int{2, 4, 8} {
+		m := m
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			var part, single, merge float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunE1(m, experiments.FastTiming(), int64(42+i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				part += float64(row.JoinStormPartitionable)
+				single += float64(row.JoinStormSingleJoin)
+				merge += float64(row.PartitionMergePartitionable)
+			}
+			b.ReportMetric(part/float64(b.N), "views-partitionable")
+			b.ReportMetric(single/float64(b.N), "views-singlejoin")
+			b.ReportMetric(merge/float64(b.N), "views-partition-merge")
+		})
+	}
+}
+
+// BenchmarkE2Classification contrasts the flat announcement protocol
+// (Θ(n²) messages, one round) with enriched local classification (zero
+// messages) after the same repair.
+func BenchmarkE2Classification(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var flatMsgs, flatLat, enrLat float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunE2(n, experiments.FastTiming(), int64(42+i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !row.Agreement {
+					b.Fatal("classifiers disagree")
+				}
+				flatMsgs += float64(row.FlatMsgs)
+				flatLat += float64(row.FlatLatency.Microseconds())
+				enrLat += float64(row.EnrichedLatency.Nanoseconds())
+			}
+			b.ReportMetric(flatMsgs/float64(b.N), "flat-msgs")
+			b.ReportMetric(flatLat/float64(b.N), "flat-latency-µs")
+			b.ReportMetric(0, "enriched-msgs")
+			b.ReportMetric(enrLat/float64(b.N), "enriched-latency-ns")
+		})
+	}
+}
+
+// BenchmarkE3StateTransfer measures blocking vs split transfer across
+// state sizes over a bandwidth-limited link.
+func BenchmarkE3StateTransfer(b *testing.B) {
+	for _, size := range []int{64 << 10, 1 << 20} {
+		for _, strat := range []transfer.Strategy{transfer.Blocking, transfer.Split} {
+			size, strat := size, strat
+			b.Run(fmt.Sprintf("size=%dKiB/%v", size>>10, strat), func(b *testing.B) {
+				var resume, full float64
+				for i := 0; i < b.N; i++ {
+					row, err := experiments.RunE3(size, strat, experiments.FastTiming(), int64(42+i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					resume += float64(row.TimeToResume.Microseconds())
+					full += float64(row.TimeToFull.Microseconds())
+				}
+				b.ReportMetric(resume/float64(b.N), "resume-µs")
+				b.ReportMetric(full/float64(b.N), "full-µs")
+			})
+		}
+	}
+}
+
+// BenchmarkE4ProblemIncidence runs the four §4 scenarios plus the
+// primary-partition exhaustive check and asserts the classifier verdict.
+func BenchmarkE4ProblemIncidence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE4(experiments.FastTiming(), int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Detected != r.Expected {
+				b.Fatalf("%s: detected %v, expected %v", r.Scenario, r.Detected, r.Expected)
+			}
+		}
+	}
+}
+
+// BenchmarkE6ChurnAvailability is the false-suspicion ablation: inject
+// suspicions every ~200ms for two seconds and report the surviving
+// N-mode (write-available) fraction.
+func BenchmarkE6ChurnAvailability(b *testing.B) {
+	for _, enriched := range []bool{false, true} {
+		enriched := enriched
+		b.Run(fmt.Sprintf("enriched=%v", enriched), func(b *testing.B) {
+			var avail, reconciles float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunE6(200*time.Millisecond, 2*time.Second, enriched,
+					experiments.FastTiming(), int64(42+i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				avail += row.AvailabilityPct
+				reconciles += float64(row.Reconciles)
+			}
+			b.ReportMetric(avail/float64(b.N), "availability-%N")
+			b.ReportMetric(reconciles/float64(b.N), "reconciles")
+		})
+	}
+}
+
+// BenchmarkE5EnrichedOverhead measures multicast throughput and join
+// latency with the enriched-view machinery on and off.
+func BenchmarkE5EnrichedOverhead(b *testing.B) {
+	for _, enriched := range []bool{false, true} {
+		enriched := enriched
+		b.Run(fmt.Sprintf("enriched=%v", enriched), func(b *testing.B) {
+			var tput, join float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunE5(4, enriched, experiments.FastTiming(), int64(42+i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tput += row.Throughput
+				join += float64(row.JoinLatency.Microseconds())
+			}
+			b.ReportMetric(tput/float64(b.N), "msgs/s")
+			b.ReportMetric(join/float64(b.N), "join-µs")
+		})
+	}
+}

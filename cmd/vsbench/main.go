@@ -1,0 +1,224 @@
+// Command vsbench regenerates every figure/claim reproduction of the
+// paper as formatted tables (the experiment index lives in DESIGN.md §3,
+// the paper-vs-measured record in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	go run ./cmd/vsbench              # run everything
+//	go run ./cmd/vsbench -exp e1      # one experiment
+//	go run ./cmd/vsbench -seed 7      # different seed
+//	go run ./cmd/vsbench -quick       # smaller sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/transfer"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6")
+	seed := flag.Int64("seed", 42, "random seed")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	flag.Parse()
+
+	runners := map[string]func(int64, bool) error{
+		"f1": runF1, "f2": runF2, "f3": runF3,
+		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5, "e6": runE6,
+	}
+	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6"}
+
+	which := strings.ToLower(*exp)
+	if which == "all" {
+		for _, name := range order {
+			if err := runners[name](*seed, *quick); err != nil {
+				log.Fatalf("vsbench: %s: %v", name, err)
+			}
+		}
+		return
+	}
+	r, ok := runners[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all|%s)\n", which, strings.Join(order, "|"))
+		os.Exit(2)
+	}
+	if err := r(*seed, *quick); err != nil {
+		log.Fatalf("vsbench: %s: %v", which, err)
+	}
+}
+
+func header(title, source string) {
+	fmt.Printf("\n=== %s ===\n", title)
+	fmt.Printf("    paper: %s\n\n", source)
+}
+
+func runF1(seed int64, _ bool) error {
+	header("F1 — execution modes of a group object process",
+		"Figure 1: N/R/S modes with Failure, Repair, Reconfigure, Reconcile transitions")
+	rows, err := experiments.RunF1(experiments.FastTiming(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.F1Header)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func runF2(seed int64, _ bool) error {
+	header("F2 — views, subviews and sv-sets across a partition and a merge",
+		"Figure 2: structure shrinks on failures, survives merges as distinct clusters (P6.3)")
+	rows, violations, err := experiments.RunF2(experiments.FastTiming(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.F2Header)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("property checker violations (P2.1-P2.3, P6.1-P6.3): %d\n", violations)
+	return nil
+}
+
+func runF3(seed int64, quick bool) error {
+	header("F3 — e-view changes within a view",
+		"Figure 3: SV-SetMerge then SubviewMerge, totally ordered at all members (P6.1, P6.2)")
+	sizes := []int{3, 5, 8}
+	if quick {
+		sizes = []int{3, 5}
+	}
+	fmt.Println(experiments.F3Header)
+	for _, n := range sizes {
+		row, err := experiments.RunF3(n, experiments.FastTiming(), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runE1(seed int64, quick bool) error {
+	header("E1 — view changes to absorb m members",
+		"§5: two m-member partitions merging cost m view changes per side under Isis's grow-by-one rule, when one suffices")
+	ms := []int{2, 4, 8, 16}
+	if quick {
+		ms = []int{2, 4}
+	}
+	fmt.Println(experiments.E1Header)
+	for _, m := range ms {
+		row, err := experiments.RunE1(m, experiments.FastTiming(), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runE2(seed int64, quick bool) error {
+	header("E2 — classifying the shared state problem after a repair",
+		"§4: flat views classify 'only through complex and costly protocols'; §6.2: enriched views classify locally")
+	ns := []int{3, 5, 7, 9}
+	if quick {
+		ns = []int{3, 5}
+	}
+	fmt.Println(experiments.E2Header)
+	for _, n := range ns {
+		row, err := experiments.RunE2(n, experiments.FastTiming(), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runE3(seed int64, quick bool) error {
+	header("E3 — state transfer strategies vs state size",
+		"§5: blocking view installation during transfer 'might be infeasible'; split the state into a small synchronous piece and a concurrent bulk")
+	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	if quick {
+		sizes = []int{64 << 10, 1 << 20}
+	}
+	fmt.Println(experiments.E3Header)
+	for _, size := range sizes {
+		for _, strat := range []transfer.Strategy{transfer.Blocking, transfer.Split} {
+			row, err := experiments.RunE3(size, strat, experiments.FastTiming(), seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(row)
+		}
+	}
+	return nil
+}
+
+func runE4(seed int64, _ bool) error {
+	header("E4 — incidence of the shared state problems",
+		"§4: necessary conditions for transfer / creation / merging; primary partitions never merge")
+	rows, err := experiments.RunE4(experiments.FastTiming(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.E4Header)
+	ok := true
+	for _, r := range rows {
+		fmt.Println(r)
+		if r.Detected != r.Expected {
+			ok = false
+		}
+	}
+	fmt.Printf("all scenarios classified as expected: %v\n", ok)
+	return nil
+}
+
+func runE5(seed int64, quick bool) error {
+	header("E5 — run-time overhead of enriched views",
+		"§6: the extension 'requires minor modifications ... and can be implemented efficiently'")
+	ns := []int{3, 5, 8}
+	if quick {
+		ns = []int{3, 5}
+	}
+	fmt.Println(experiments.E5Header)
+	for _, n := range ns {
+		for _, enriched := range []bool{false, true} {
+			row, err := experiments.RunE5(n, enriched, experiments.FastTiming(), seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(row)
+		}
+	}
+	return nil
+}
+
+func runE6(seed int64, quick bool) error {
+	header("E6 — write availability under false-suspicion churn (ablation)",
+		"§2: false suspicions are indistinguishable from failures; each one costs a view change and a reconciliation")
+	gaps := []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, time.Second}
+	window := 3 * time.Second
+	if quick {
+		gaps = []time.Duration{200 * time.Millisecond}
+		window = 2 * time.Second
+	}
+	fmt.Println(experiments.E6Header)
+	for _, gap := range gaps {
+		for _, enriched := range []bool{false, true} {
+			row, err := experiments.RunE6(gap, window, enriched, experiments.FastTiming(), seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(row)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Command vstrace runs a seeded random fault schedule against a live
+// group, reports what happened, and verifies all six paper properties
+// over the recorded trace:
+//
+//	P2.1 Agreement   P2.2 Uniqueness   P2.3 Integrity      (§2)
+//	P6.1 Total order P6.2 Causal cuts  P6.3 Structure      (§6)
+//
+// Usage:
+//
+//	go run ./cmd/vstrace                 # default random schedule
+//	go run ./cmd/vstrace -n 6 -steps 40  # bigger group, longer schedule
+//	go run ./cmd/vstrace -seed 7         # a different schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/stable"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 5, "group size")
+	steps := flag.Int("steps", 30, "schedule length")
+	seed := flag.Int64("seed", 1, "schedule seed")
+	flag.Parse()
+	if err := run(*n, *steps, *seed); err != nil {
+		log.Fatalf("vstrace: %v", err)
+	}
+}
+
+func run(n, steps int, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	rec := check.NewRecorder()
+	fabric := simnet.New(simnet.Config{
+		Delay: simnet.NewUniformDelay(50*time.Microsecond, 400*time.Microsecond, seed+1),
+		Seed:  seed,
+	})
+	defer fabric.Close()
+	reg := stable.NewRegistry()
+	opts := core.Options{
+		Group:          "trace",
+		HeartbeatEvery: 3 * time.Millisecond,
+		SuspectAfter:   18 * time.Millisecond,
+		Tick:           2 * time.Millisecond,
+		ProposeTimeout: 30 * time.Millisecond,
+		Enriched:       true,
+		LogViews:       true,
+		Observer:       rec,
+	}
+
+	sites := make([]string, n)
+	live := make(map[string]*core.Process, n)
+	start := func(site string) error {
+		p, err := core.Start(fabric, reg, site, opts)
+		if err != nil {
+			return err
+		}
+		go func() {
+			for range p.Events() {
+			}
+		}()
+		live[site] = p
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		sites[i] = fmt.Sprintf("n%d", i+1)
+		if err := start(sites[i]); err != nil {
+			return err
+		}
+	}
+	all := func() []*core.Process {
+		keys := make([]string, 0, len(live))
+		for s := range live {
+			keys = append(keys, s)
+		}
+		sort.Strings(keys)
+		out := make([]*core.Process, 0, len(keys))
+		for _, s := range keys {
+			out = append(out, live[s])
+		}
+		return out
+	}
+	if err := converge(all(), 15*time.Second); err != nil {
+		return fmt.Errorf("formation: %w", err)
+	}
+	fmt.Printf("group of %d formed; running %d scheduled steps (seed %d)\n", n, steps, seed)
+
+	partitioned := false
+	for step := 0; step < steps; step++ {
+		switch r.Intn(9) {
+		case 0, 1, 2:
+			procs := all()
+			p := procs[r.Intn(len(procs))]
+			k := 1 + r.Intn(4)
+			for i := 0; i < k; i++ {
+				_ = p.Multicast([]byte(fmt.Sprintf("m-%d-%d", step, i)))
+			}
+			fmt.Printf("step %2d: %v multicast %d messages\n", step, p.PID(), k)
+		case 3:
+			if len(live) > 2 {
+				procs := all()
+				p := procs[r.Intn(len(procs))]
+				delete(live, p.Site())
+				p.Crash()
+				fmt.Printf("step %2d: crash %v\n", step, p.PID())
+			}
+		case 4:
+			for _, s := range sites {
+				if _, ok := live[s]; !ok {
+					if err := start(s); err != nil {
+						return err
+					}
+					fmt.Printf("step %2d: recover site %s as %v\n", step, s, live[s].PID())
+					break
+				}
+			}
+		case 5:
+			if !partitioned {
+				cut := 1 + r.Intn(n-1)
+				fabric.SetPartitions(sites[:cut], sites[cut:])
+				partitioned = true
+				fmt.Printf("step %2d: partition %v | %v\n", step, sites[:cut], sites[cut:])
+			}
+		case 6:
+			if partitioned {
+				fabric.Heal()
+				partitioned = false
+				fmt.Printf("step %2d: heal\n", step)
+			}
+		case 7:
+			procs := all()
+			p := procs[r.Intn(len(procs))]
+			st := p.CurrentView().Structure
+			if sss := st.SVSets(); len(sss) >= 2 {
+				_ = p.SVSetMerge(sss[0], sss[1])
+				fmt.Printf("step %2d: %v requests SV-SetMerge\n", step, p.PID())
+			}
+		case 8:
+			procs := all()
+			p := procs[r.Intn(len(procs))]
+			st := p.CurrentView().Structure
+			if svs := st.Subviews(); len(svs) >= 2 {
+				_ = p.SubviewMerge(svs[0], svs[1])
+				fmt.Printf("step %2d: %v requests SubviewMerge\n", step, p.PID())
+			}
+		}
+		time.Sleep(time.Duration(r.Intn(25)) * time.Millisecond)
+	}
+
+	fabric.Heal()
+	if err := converge(all(), 20*time.Second); err != nil {
+		return fmt.Errorf("stabilization: %w", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	for _, p := range all() {
+		v := p.CurrentView()
+		fmt.Printf("final: %v in view %v %v, structure %v\n", p.PID(), v.ID, v.Members, v.Structure)
+	}
+
+	s := rec.Summary()
+	fmt.Printf("\ntrace: %d processes, %d sends, %d deliveries, %d views, %d e-changes\n",
+		s.Processes, s.Sends, s.Deliveries, s.Views, s.EChanges)
+	errs := rec.Verify()
+	check.SortErrors(errs)
+	if len(errs) == 0 {
+		fmt.Println("all properties held: Agreement, Uniqueness, Integrity, Total order, Causal cuts, Structure")
+		return nil
+	}
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "VIOLATION: %v\n", err)
+	}
+	return fmt.Errorf("%d property violations", len(errs))
+}
+
+func converge(procs []*core.Process, timeout time.Duration) error {
+	want := make(ids.PIDSet, len(procs))
+	for _, p := range procs {
+		want.Add(p.PID())
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		v0 := procs[0].CurrentView()
+		ok := v0.Comp().Equal(want)
+		if ok {
+			for _, p := range procs[1:] {
+				v := p.CurrentView()
+				if v.ID != v0.ID || !v.Comp().Equal(want) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("convergence timeout")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

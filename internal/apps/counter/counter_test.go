@@ -1,0 +1,159 @@
+package counter
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/gobject"
+	"repro/internal/modes"
+	"repro/internal/sstate"
+	"repro/internal/vstest"
+)
+
+func clusterCounter(t *testing.T, seed int64, n int, enriched bool) (*vstest.Net, []*Counter) {
+	t.Helper()
+	net := vstest.NewNet(t, seed)
+	cs := make([]*Counter, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := Open(net.Fabric, net.Reg, vstest.SiteName(i), vstest.FastOptions(), enriched)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		t.Cleanup(c.Close)
+		cs = append(cs, c)
+	}
+	waitNormal(t, cs, 15*time.Second)
+	return net, cs
+}
+
+func waitNormal(t *testing.T, cs []*Counter, timeout time.Duration) {
+	t.Helper()
+	for _, c := range cs {
+		c := c
+		vstest.Eventually(t, timeout, fmt.Sprintf("%v in N-mode", c.Process().PID()), func() bool {
+			return c.Mode() == modes.Normal
+		})
+	}
+}
+
+func incrRetry(t *testing.T, c *Counter, delta uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := c.Increment(delta); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("increment never succeeded")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitValue(t *testing.T, cs []*Counter, want uint64, timeout time.Duration) {
+	t.Helper()
+	vstest.Eventually(t, timeout, fmt.Sprintf("value %d everywhere", want), func() bool {
+		for _, c := range cs {
+			if c.Value() != want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestIncrementsReplicate(t *testing.T) {
+	for _, enriched := range []bool{true, false} {
+		enriched := enriched
+		t.Run(fmt.Sprintf("enriched=%v", enriched), func(t *testing.T) {
+			_, cs := clusterCounter(t, 500, 3, enriched)
+			for i := 0; i < 9; i++ {
+				incrRetry(t, cs[i%3], 1, 5*time.Second)
+			}
+			waitValue(t, cs, 9, 5*time.Second)
+			// Contributions are tracked per site.
+			if got := cs[0].Contribution("a"); got != 3 {
+				t.Fatalf("site a contributed %d, want 3", got)
+			}
+		})
+	}
+}
+
+func TestPartitionedIncrementsMerge(t *testing.T) {
+	// The state merging problem: both partitions increment independently;
+	// after the heal the lattice join recovers the total. Whether a
+	// given heal classifies as *merging* depends on the membership path
+	// (a side absorbed through an intermediate view presents as
+	// singletons → creation), so the cycle repeats until the merging
+	// incarnation occurs; value convergence is asserted on every cycle.
+	net, cs := clusterCounter(t, 501, 4, true)
+	incrRetry(t, cs[0], 10, 5*time.Second)
+	waitValue(t, cs, 10, 5*time.Second)
+
+	total := uint64(10)
+	mergings := 0
+	for attempt := 0; attempt < 4 && mergings == 0; attempt++ {
+		net.Fabric.SetPartitions([]string{"a", "b"}, []string{"c", "d"})
+		vstest.Eventually(t, 15*time.Second, "split views", func() bool {
+			return cs[0].Process().CurrentView().Size() == 2 &&
+				cs[2].Process().CurrentView().Size() == 2
+		})
+		waitNormal(t, cs, 15*time.Second)
+		incrRetry(t, cs[0], 5, 10*time.Second)
+		incrRetry(t, cs[3], 7, 10*time.Second)
+		total += 12
+
+		net.Fabric.Heal()
+		vstest.Eventually(t, 20*time.Second, "merged view", func() bool {
+			return cs[0].Process().CurrentView().Size() == 4
+		})
+		waitNormal(t, cs, 20*time.Second)
+		waitValue(t, cs, total, 10*time.Second)
+
+		mergings = 0
+		for _, c := range cs {
+			st := c.Stats()
+			mergings += st.Classifications[sstate.Merging] + st.Classifications[sstate.TransferMerging]
+		}
+	}
+	if mergings == 0 {
+		t.Error("no merging classification recorded across four partition/heal cycles")
+	}
+}
+
+func TestJoinerCatchesUpViaSnapshots(t *testing.T) {
+	net, cs := clusterCounter(t, 502, 3, true)
+	incrRetry(t, cs[1], 42, 5*time.Second)
+	waitValue(t, cs, 42, 5*time.Second)
+
+	joiner, err := Open(net.Fabric, net.Reg, "z", vstest.FastOptions(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(joiner.Close)
+	vstest.Eventually(t, 20*time.Second, "joiner catches up", func() bool {
+		return joiner.Mode() == modes.Normal && joiner.Value() == 42
+	})
+	// No bulk transfer was needed: snapshots carried everything.
+	if joiner.Stats().Pulls != 0 {
+		t.Errorf("joiner pulled bulk state %d times; snapshots should suffice", joiner.Stats().Pulls)
+	}
+}
+
+func TestIncrementRejectedOutsideNormal(t *testing.T) {
+	net := vstest.NewNet(t, 503)
+	c, err := Open(net.Fabric, net.Reg, "solo", vstest.FastOptions(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right after open the machine may still be settling; the call must
+	// fail cleanly, never hang.
+	if err := c.Increment(1); err != nil && err != gobject.ErrNotServing {
+		t.Fatalf("increment while settling: %v", err)
+	}
+	c.Close()
+	if err := c.Increment(1); err == nil {
+		t.Fatal("increment after close succeeded")
+	}
+}

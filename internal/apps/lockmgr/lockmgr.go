@@ -1,0 +1,267 @@
+// Package lockmgr implements the Section-6.2 example: a group object
+// managing a mutually-exclusive write lock that can only be used in a
+// view containing a majority of processes. The shared global state is
+// the identity of the lock manager and of the current lock holder.
+//
+// Mode mapping: a majority view is required for both external operations
+// (acquire, release), so a minority view is R-mode with an empty
+// external subset; a majority view whose members are not reconciled
+// about the holder is S-mode; otherwise N.
+//
+// The lock manager is the view's smallest member. A process acquires by
+// asking the manager, which multicasts the grant; every member tracks
+// (holder, grant sequence). On a view change to S-mode, members exchange
+// their (holder, seq) pairs, adopt the highest, release the lock if its
+// holder left the majority (a holder isolated in a minority partition
+// observes R-mode and knows its lock is no longer protected), and
+// reconcile. Two concurrent majorities cannot exist, so state merging
+// never arises — the paper's observation about the primary-partition
+// flavor of quorum objects.
+package lockmgr
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modes"
+	"repro/internal/quorum"
+	"repro/internal/simnet"
+	"repro/internal/sstate"
+	"repro/internal/stable"
+)
+
+// Errors returned by the Manager API.
+var (
+	// ErrNotAvailable is returned outside N-mode.
+	ErrNotAvailable = errors.New("lockmgr: no majority / not reconciled")
+	// ErrBusy is returned by TryAcquire when another process holds the
+	// lock.
+	ErrBusy = errors.New("lockmgr: lock is held")
+	// ErrNotHolder is returned by Release when this process does not
+	// hold the lock.
+	ErrNotHolder = errors.New("lockmgr: not the holder")
+	// ErrTimeout is returned when the manager's answer did not arrive in
+	// time (e.g. a view change); retry.
+	ErrTimeout = errors.New("lockmgr: operation timed out")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("lockmgr: closed")
+)
+
+// Config parametrizes a member.
+type Config struct {
+	// RW is the majority quorum system shared by the group.
+	RW quorum.RW
+	// Enriched selects §6.2 local classification.
+	Enriched bool
+	// OpTimeout bounds TryAcquire/Release round trips (default 2s).
+	OpTimeout time.Duration
+}
+
+// Manager is one member of the lock group.
+type Manager struct {
+	p   *core.Process
+	cfg Config
+
+	mu       sync.Mutex
+	machine  *modes.Machine
+	holder   ids.PID // zero when free
+	seq      uint64  // grant/release sequence, monotone per majority era
+	waiters  map[string]chan error
+	nextOp   uint64
+	settling *settle
+	closed   bool
+	// stView / stTable hold the per-view lock-state announcements from
+	// every member (any mode), feeding both the settlers' adoption step
+	// and the sequencer's merge duty.
+	stView  ids.ViewID
+	stTable map[ids.PID]lockInfo
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	done chan struct{}
+}
+
+// Stats counts activity for experiments.
+type Stats struct {
+	Classifications map[sstate.Kind]int
+	Grants          uint64
+	Releases        uint64
+	StaleFrees      uint64
+	Reconciles      uint64
+}
+
+type settle struct {
+	view  core.EView
+	proto *sstate.Protocol
+	class *sstate.Classification
+}
+
+type lockInfo struct {
+	Holder ids.PID `json:"holder"`
+	Seq    uint64  `json:"seq"`
+}
+
+type lockMsg struct {
+	Type   string  `json:"t"` // "acq", "rel", "grant", "free", "busy", "state"
+	Op     string  `json:"op,omitempty"`
+	From   ids.PID `json:"from"`
+	Holder ids.PID `json:"holder,omitempty"`
+	Seq    uint64  `json:"seq,omitempty"`
+}
+
+var lockMagic = []byte("\x01lockmgr1\x00")
+
+func encodeMsg(m lockMsg) []byte {
+	body, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("lockmgr: encode: %v", err)) // unreachable
+	}
+	return append(append([]byte{}, lockMagic...), body...)
+}
+
+func decodeMsg(payload []byte) (lockMsg, bool) {
+	if !bytes.HasPrefix(payload, lockMagic) {
+		return lockMsg{}, false
+	}
+	var m lockMsg
+	if err := json.Unmarshal(payload[len(lockMagic):], &m); err != nil {
+		return lockMsg{}, false
+	}
+	return m, true
+}
+
+// Open starts a member.
+func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*Manager, error) {
+	coreOpts.Enriched = cfg.Enriched
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 2 * time.Second
+	}
+	p, err := core.Start(fabric, reg, site, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("lockmgr: %w", err)
+	}
+	m := &Manager{
+		p:       p,
+		cfg:     cfg,
+		waiters: make(map[string]chan error),
+		done:    make(chan struct{}),
+	}
+	m.stats.Classifications = make(map[sstate.Kind]int)
+	go m.run()
+	return m, nil
+}
+
+// Process exposes the underlying process.
+func (m *Manager) Process() *core.Process { return m.p }
+
+// Mode returns the current Figure-1 mode.
+func (m *Manager) Mode() modes.Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.machine == nil {
+		return modes.Settling
+	}
+	return m.machine.Mode()
+}
+
+// Holder returns the current holder as known locally (zero PID if free).
+func (m *Manager) Holder() ids.PID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.holder
+}
+
+// HeldByMe reports whether this process holds the lock *and* is still in
+// a view where the lock is protected (N-mode).
+func (m *Manager) HeldByMe() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine != nil && m.machine.Mode() == modes.Normal && m.holder == m.p.PID()
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	out := m.stats
+	out.Classifications = make(map[sstate.Kind]int, len(m.stats.Classifications))
+	for k, v := range m.stats.Classifications {
+		out.Classifications[k] = v
+	}
+	return out
+}
+
+// TryAcquire asks the manager for the lock. It returns nil on grant,
+// ErrBusy if held elsewhere, ErrNotAvailable outside N-mode, ErrTimeout
+// if a view change interrupted the exchange.
+func (m *Manager) TryAcquire() error { return m.roundTrip("acq") }
+
+// Release gives the lock back. Only the holder may release.
+func (m *Manager) Release() error {
+	m.mu.Lock()
+	if m.holder != m.p.PID() {
+		m.mu.Unlock()
+		return ErrNotHolder
+	}
+	m.mu.Unlock()
+	return m.roundTrip("rel")
+}
+
+func (m *Manager) roundTrip(typ string) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.machine == nil || m.machine.Mode() != modes.Normal {
+		m.mu.Unlock()
+		return ErrNotAvailable
+	}
+	m.nextOp++
+	op := fmt.Sprintf("%v/%d", m.p.PID(), m.nextOp)
+	ch := make(chan error, 1)
+	m.waiters[op] = ch
+	m.mu.Unlock()
+
+	defer func() {
+		m.mu.Lock()
+		delete(m.waiters, op)
+		m.mu.Unlock()
+	}()
+
+	mgr, ok := m.p.CurrentView().Comp().Min()
+	if !ok {
+		return ErrNotAvailable
+	}
+	if err := m.p.Unicast(mgr, encodeMsg(lockMsg{Type: typ, Op: op, From: m.p.PID()})); err != nil {
+		return fmt.Errorf("lockmgr: request: %w", err)
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(m.cfg.OpTimeout):
+		return ErrTimeout
+	case <-m.done:
+		return ErrClosed
+	}
+}
+
+// Close leaves the group.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.p.Leave()
+	<-m.done
+}

@@ -1,0 +1,248 @@
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/modes"
+	"repro/internal/quorum"
+	"repro/internal/vstest"
+)
+
+func rwFor(n int) quorum.RW {
+	sites := make([]string, n)
+	for i := range sites {
+		sites[i] = vstest.SiteName(i)
+	}
+	return quorum.MajorityRW(quorum.Uniform(sites...))
+}
+
+func clusterLock(t *testing.T, seed int64, n int, enriched bool) (*vstest.Net, []*Manager) {
+	t.Helper()
+	net := vstest.NewNet(t, seed)
+	rw := rwFor(n)
+	ms := make([]*Manager, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := Open(net.Fabric, net.Reg, vstest.SiteName(i), vstest.FastOptions(), Config{RW: rw, Enriched: enriched})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		t.Cleanup(m.Close)
+		ms = append(ms, m)
+	}
+	waitNormalLock(t, ms, 10*time.Second)
+	return net, ms
+}
+
+func waitNormalLock(t *testing.T, ms []*Manager, timeout time.Duration) {
+	t.Helper()
+	for _, m := range ms {
+		m := m
+		vstest.Eventually(t, timeout, fmt.Sprintf("%v in N-mode", m.Process().PID()), func() bool {
+			return m.Mode() == modes.Normal
+		})
+	}
+}
+
+func acquireRetry(t *testing.T, m *Manager, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		err := m.TryAcquire()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("acquire never succeeded: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	_, ms := clusterLock(t, 300, 3, true)
+	acquireRetry(t, ms[1], 5*time.Second)
+	if !ms[1].HeldByMe() {
+		t.Fatal("HeldByMe false after grant")
+	}
+	vstest.Eventually(t, 3*time.Second, "holder visible everywhere", func() bool {
+		for _, m := range ms {
+			if m.Holder() != ms[1].Process().PID() {
+				return false
+			}
+		}
+		return true
+	})
+	// Someone else cannot take it. (Retry through transient view-change
+	// timeouts; the answer must settle on ErrBusy, never success.)
+	expectStable(t, "second acquire", ErrBusy, func() error { return ms[2].TryAcquire() })
+	if err := ms[2].Release(); err != ErrNotHolder {
+		t.Fatalf("non-holder release: %v, want ErrNotHolder", err)
+	}
+	expectStable(t, "holder release", nil, func() error { return ms[1].Release() })
+	vstest.Eventually(t, 3*time.Second, "free everywhere", func() bool {
+		for _, m := range ms {
+			if !m.Holder().IsZero() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// expectStable retries op through transient view-change errors until it
+// yields the wanted terminal answer.
+func expectStable(t *testing.T, what string, want error, op func() error) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := op()
+		if err == want {
+			return
+		}
+		transient := err == ErrTimeout || err == ErrNotAvailable || errors.Is(err, core.ErrBlocked)
+		if !transient {
+			t.Fatalf("%s: %v, want %v", what, err, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: still %v after retries, want %v", what, err, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMutualExclusionStress(t *testing.T) {
+	_, ms := clusterLock(t, 301, 3, true)
+	var inCritical int32
+	var violations int32
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				// spin until acquired
+				for {
+					if err := m.TryAcquire(); err == nil {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				if atomic.AddInt32(&inCritical, 1) != 1 {
+					atomic.AddInt32(&violations, 1)
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt32(&inCritical, -1)
+				for {
+					if err := m.Release(); err == nil {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := atomic.LoadInt32(&violations); v != 0 {
+		t.Fatalf("%d mutual exclusion violations", v)
+	}
+}
+
+func TestMinorityCannotAcquire(t *testing.T) {
+	net, ms := clusterLock(t, 302, 5, true)
+	net.Fabric.SetPartitions([]string{"a", "b", "c"}, []string{"d", "e"})
+	vstest.Eventually(t, 10*time.Second, "minority in R", func() bool {
+		return ms[4].Mode() == modes.Reduced
+	})
+	if err := ms[4].TryAcquire(); err != ErrNotAvailable {
+		t.Fatalf("minority acquire: %v, want ErrNotAvailable", err)
+	}
+	// Majority still works.
+	waitNormalLock(t, ms[:3], 10*time.Second)
+	acquireRetry(t, ms[0], 5*time.Second)
+	if err := ms[0].Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHolderIsolatedInMinorityLosesLock(t *testing.T) {
+	net, ms := clusterLock(t, 303, 5, true)
+	// e acquires, then gets partitioned away with d.
+	acquireRetry(t, ms[4], 5*time.Second)
+	net.Fabric.SetPartitions([]string{"a", "b", "c"}, []string{"d", "e"})
+
+	// The isolated holder observes R-mode: its lock is not protected.
+	vstest.Eventually(t, 10*time.Second, "holder sees R", func() bool {
+		return ms[4].Mode() == modes.Reduced
+	})
+	if ms[4].HeldByMe() {
+		t.Fatal("HeldByMe true in R-mode")
+	}
+	// The majority settles, frees the stale lock, and can grant again.
+	waitNormalLock(t, ms[:3], 15*time.Second)
+	acquireRetry(t, ms[0], 10*time.Second)
+	frees := 0
+	for _, m := range ms[:3] {
+		frees += int(m.Stats().StaleFrees)
+	}
+	if frees == 0 {
+		t.Error("no stale-free recorded after isolating the holder")
+	}
+
+	// After the heal, everyone agrees on the majority's holder.
+	net.Fabric.Heal()
+	waitNormalLock(t, ms, 15*time.Second)
+	want := ms[0].Process().PID()
+	vstest.Eventually(t, 5*time.Second, "post-heal holder agreement", func() bool {
+		for _, m := range ms {
+			if m.Holder() != want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestLockSurvivesManagerCrash(t *testing.T) {
+	_, ms := clusterLock(t, 304, 5, true)
+	acquireRetry(t, ms[3], 5*time.Second)
+	// Crash the manager (smallest member, site a).
+	ms[0].Process().Crash()
+	waitNormalLock(t, ms[1:], 15*time.Second)
+	// The holder survives the manager change.
+	vstest.Eventually(t, 5*time.Second, "holder preserved", func() bool {
+		for _, m := range ms[1:] {
+			if m.Holder() != ms[3].Process().PID() {
+				return false
+			}
+		}
+		return true
+	})
+	expectStable(t, "release after manager crash", nil, func() error { return ms[3].Release() })
+}
+
+func TestFlatModeLockAlsoWorks(t *testing.T) {
+	_, ms := clusterLock(t, 305, 3, false)
+	acquireRetry(t, ms[2], 5*time.Second)
+	expectStable(t, "contended acquire", ErrBusy, func() error { return ms[1].TryAcquire() })
+	expectStable(t, "holder release", nil, func() error { return ms[2].Release() })
+}
+
+func TestClosedErrors(t *testing.T) {
+	net := vstest.NewNet(t, 306)
+	m, err := Open(net.Fabric, net.Reg, "a", vstest.FastOptions(), Config{RW: rwFor(3), Enriched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if err := m.TryAcquire(); err != ErrClosed && err != ErrNotAvailable {
+		t.Fatalf("TryAcquire after close: %v", err)
+	}
+	m.Close() // idempotent
+}

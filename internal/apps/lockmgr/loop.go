@@ -1,0 +1,343 @@
+package lockmgr
+
+import (
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modes"
+	"repro/internal/sstate"
+)
+
+func (m *Manager) run() {
+	defer func() {
+		m.mu.Lock()
+		for _, ch := range m.waiters {
+			ch <- ErrClosed
+		}
+		m.waiters = make(map[string]chan error)
+		m.mu.Unlock()
+		close(m.done)
+	}()
+	for ev := range m.p.Events() {
+		switch e := ev.(type) {
+		case core.ViewEvent:
+			m.onView(e.EView)
+		case core.EChangeEvent:
+			m.onEChange(e)
+		case core.MsgEvent:
+			m.onMsg(e)
+		}
+	}
+}
+
+// modeFunc mirrors repfile's quorum functions, with the lock-specific
+// twist that both external operations need the majority.
+func (m *Manager) newMachine(v core.EView) *modes.Machine {
+	fn := modes.QuorumFlat(m.cfg.RW)
+	if m.cfg.Enriched {
+		fn = modes.QuorumEnriched(m.p.PID(), m.cfg.RW)
+	}
+	return modes.NewMachine(fn, v)
+}
+
+func (m *Manager) onView(v core.EView) {
+	m.mu.Lock()
+	prevMode := modes.Settling
+	prevView := ids.ViewID{}
+	if m.machine != nil {
+		prevMode = m.machine.Mode()
+		prevView = m.machine.View().ID
+	}
+	if m.machine == nil {
+		m.machine = m.newMachine(v)
+	} else {
+		m.machine.OnView(v)
+	}
+	for op, ch := range m.waiters {
+		ch <- ErrTimeout
+		delete(m.waiters, op)
+	}
+	m.settling = nil
+	// A holder that is not in the new view lost the lock: this is
+	// locally decidable from the composition, and every member of the
+	// view decides it identically (the isolated holder itself observes
+	// R-mode on its side and knows the lock is no longer protected).
+	if !m.holder.IsZero() && !v.Comp().Has(m.holder) {
+		m.holder = ids.PID{}
+		m.seq++
+		m.statsMu.Lock()
+		m.stats.StaleFrees++
+		m.statsMu.Unlock()
+	}
+	m.stView = v.ID
+	m.stTable = map[ids.PID]lockInfo{m.p.PID(): {Holder: m.holder, Seq: m.seq}}
+	if m.machine.Mode() == modes.Settling {
+		s := &settle{view: v}
+		m.settling = s
+		if m.cfg.Enriched {
+			class := sstate.ClassifyEnriched(v, func(c ids.PIDSet) bool { return m.cfg.RW.CanWrite(c) })
+			s.class = &class
+			m.countClassification(class.Kind)
+		} else {
+			s.proto = sstate.NewProtocol(v)
+		}
+	}
+	holder, seq := m.holder, m.seq
+	m.mu.Unlock()
+
+	// Every member announces its lock state at every view change,
+	// whatever its mode, so settlers can adopt the freshest state and
+	// the sequencer knows when to merge the structure.
+	_ = m.p.Multicast(encodeMsg(lockMsg{Type: "state", From: m.p.PID(), Holder: holder, Seq: seq}))
+	if !m.cfg.Enriched {
+		if payload, err := sstate.Announcement(m.p.PID(), prevView, prevMode); err == nil {
+			_ = m.p.Multicast(payload)
+		}
+	}
+	m.advance()
+}
+
+func (m *Manager) isManagerOf(v core.EView) bool {
+	min, ok := v.Comp().Min()
+	return ok && min == m.p.PID()
+}
+
+func (m *Manager) countClassification(k sstate.Kind) {
+	m.statsMu.Lock()
+	m.stats.Classifications[k]++
+	m.statsMu.Unlock()
+}
+
+// onEChange tracks structure changes but does not re-drive the mode
+// machine: e-view changes only grow the structure (merges), so they can
+// never degrade a capability — while re-evaluating the quorum mode
+// function mid-merge would spuriously Reconfigure an already-reconciled
+// member back into S with no settle round open.
+func (m *Manager) onEChange(e core.EChangeEvent) {
+	m.mu.Lock()
+	if m.settling != nil {
+		m.settling.view = e.EView
+	}
+	m.mu.Unlock()
+	m.advance()
+}
+
+func (m *Manager) onMsg(ev core.MsgEvent) {
+	if sstate.IsInfo(ev.Payload) {
+		m.mu.Lock()
+		s := m.settling
+		if s != nil && s.proto != nil && ev.View == s.view.ID {
+			done, _ := s.proto.Offer(ev)
+			if done && s.class == nil {
+				if class, err := s.proto.Classify(); err == nil {
+					s.class = &class
+					m.countClassification(class.Kind)
+				}
+			}
+		}
+		m.mu.Unlock()
+		m.advance()
+		return
+	}
+	msg, ok := decodeMsg(ev.Payload)
+	if !ok {
+		return
+	}
+	switch msg.Type {
+	case "acq":
+		m.onAcquire(msg)
+	case "rel":
+		m.onRelease(msg)
+	case "grant", "free":
+		m.onGrantOrFree(msg)
+	case "busy":
+		m.signal(msg.Op, ErrBusy)
+	case "state":
+		m.mu.Lock()
+		if ev.View == m.stView {
+			m.stTable[msg.From] = lockInfo{Holder: msg.Holder, Seq: msg.Seq}
+		}
+		m.mu.Unlock()
+		m.advance()
+	}
+}
+
+// onAcquire runs at the manager.
+func (m *Manager) onAcquire(msg lockMsg) {
+	m.mu.Lock()
+	view := m.p.CurrentView()
+	if !m.isManagerOf(view) || m.machine == nil || m.machine.Mode() != modes.Normal {
+		m.mu.Unlock()
+		return // requester times out
+	}
+	if m.holder == msg.From {
+		// Idempotent re-grant: the previous grant may have been lost in
+		// a view change after the manager assigned it; the requester is
+		// retrying and already holds the lock.
+		seq := m.seq
+		m.mu.Unlock()
+		_ = m.p.Multicast(encodeMsg(lockMsg{Type: "grant", Op: msg.Op, From: m.p.PID(), Holder: msg.From, Seq: seq}))
+		return
+	}
+	if !m.holder.IsZero() {
+		holder := m.holder
+		m.mu.Unlock()
+		_ = m.p.Unicast(msg.From, encodeMsg(lockMsg{Type: "busy", Op: msg.Op, From: m.p.PID(), Holder: holder}))
+		return
+	}
+	// Assign eagerly so a second acquire arriving before the grant
+	// round-trips sees the lock taken (the manager serializes grants).
+	m.seq++
+	m.holder = msg.From
+	seq := m.seq
+	m.statsMu.Lock()
+	m.stats.Grants++
+	m.statsMu.Unlock()
+	m.mu.Unlock()
+	_ = m.p.Multicast(encodeMsg(lockMsg{Type: "grant", Op: msg.Op, From: m.p.PID(), Holder: msg.From, Seq: seq}))
+}
+
+// onRelease runs at the manager.
+func (m *Manager) onRelease(msg lockMsg) {
+	m.mu.Lock()
+	view := m.p.CurrentView()
+	if !m.isManagerOf(view) || m.machine == nil || m.machine.Mode() != modes.Normal {
+		m.mu.Unlock()
+		return
+	}
+	if m.holder != msg.From {
+		m.mu.Unlock()
+		m.signalRemote(msg, ErrNotHolder)
+		return
+	}
+	m.seq++
+	m.holder = ids.PID{}
+	seq := m.seq
+	m.statsMu.Lock()
+	m.stats.Releases++
+	m.statsMu.Unlock()
+	m.mu.Unlock()
+	_ = m.p.Multicast(encodeMsg(lockMsg{Type: "free", Op: msg.Op, From: m.p.PID(), Seq: seq}))
+}
+
+func (m *Manager) signalRemote(msg lockMsg, err error) {
+	if msg.From == m.p.PID() {
+		m.signal(msg.Op, err)
+		return
+	}
+	// Remote requesters simply time out on protocol errors; the local
+	// case matters for fast feedback.
+}
+
+// onGrantOrFree applies a sequenced lock-state change at every member.
+// The manager itself applied (and counted) the change eagerly; everyone
+// else applies it here.
+func (m *Manager) onGrantOrFree(msg lockMsg) {
+	m.mu.Lock()
+	if msg.Seq > m.seq {
+		m.seq = msg.Seq
+		if msg.Type == "grant" {
+			m.holder = msg.Holder
+		} else {
+			m.holder = ids.PID{}
+		}
+		if msg.From != m.p.PID() {
+			m.statsMu.Lock()
+			if msg.Type == "grant" {
+				m.stats.Grants++
+			} else {
+				m.stats.Releases++
+			}
+			m.statsMu.Unlock()
+		}
+	}
+	ch, ok := m.waiters[msg.Op]
+	if ok {
+		delete(m.waiters, msg.Op)
+	}
+	m.mu.Unlock()
+	if ok {
+		ch <- nil
+	}
+}
+
+func (m *Manager) signal(op string, err error) {
+	m.mu.Lock()
+	ch, ok := m.waiters[op]
+	if ok {
+		delete(m.waiters, op)
+	}
+	m.mu.Unlock()
+	if ok {
+		ch <- err
+	}
+}
+
+// advance drives both the settlers' adoption step and the sequencer's
+// structure-merge duty; safe to call from any event.
+func (m *Manager) advance() {
+	m.mu.Lock()
+	if m.machine == nil {
+		m.mu.Unlock()
+		return
+	}
+	view := m.p.CurrentView()
+	comp := view.Comp()
+	allAnnounced := m.stView == view.ID && len(m.stTable) >= len(comp)
+
+	reconciled := false
+	if s := m.settling; s != nil && m.machine.Mode() == modes.Settling && allAnnounced && s.class != nil {
+		// Adopt the freshest lock state among the members.
+		best := lockInfo{}
+		for _, info := range m.stTable {
+			if info.Seq > best.Seq {
+				best = info
+			}
+		}
+		if best.Seq > m.seq {
+			m.seq = best.Seq
+			m.holder = best.Holder
+			// Announced states never reference a departed holder: every
+			// member freed such a lock at view installation, before
+			// announcing.
+		}
+		// With every member's lock state adopted, reconciliation is
+		// complete; the machine's own gate (capability != R) is the only
+		// remaining condition. Waiting for the structure merges to
+		// round-trip is unnecessary — and would strand the settler if a
+		// merge stalls behind another view change.
+		if _, err := m.machine.Reconcile(); err == nil {
+			m.settling = nil
+			reconciled = true
+		}
+	}
+
+	// Sequencer duty (enriched, any mode): merge the structure once all
+	// members of the view have announced.
+	var (
+		svsets   []ids.SVSetID
+		subviews []ids.SubviewID
+	)
+	act := ""
+	if m.cfg.Enriched && allAnnounced {
+		if min, ok := comp.Min(); ok && min == m.p.PID() {
+			if view.Structure.NumSVSets() > 1 {
+				act, svsets = "svsets", view.Structure.SVSets()
+			} else if view.Structure.NumSubviews() > 1 {
+				act, subviews = "subviews", view.Structure.Subviews()
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	if reconciled {
+		m.statsMu.Lock()
+		m.stats.Reconciles++
+		m.statsMu.Unlock()
+	}
+	switch act {
+	case "svsets":
+		_ = m.p.SVSetMerge(svsets...)
+	case "subviews":
+		_ = m.p.SubviewMerge(subviews...)
+	}
+}

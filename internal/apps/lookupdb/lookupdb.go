@@ -1,0 +1,411 @@
+// Package lookupdb implements the paper's second group-object example
+// (Section 3): a fully replicated database with a look-up query
+// interface, where queries are performed in parallel by the group
+// members, each responsible for a subset of the database.
+//
+// The mode mapping of the example, straight from the paper: the only
+// external operation (look-up) can be performed in any view, so R-mode
+// does not exist; any view change switches the process to S-mode to
+// redefine the division of responsibility — an inconsistency in that
+// assignment "could result in some portion of the database not being
+// searched at all or being searched multiple times".
+//
+// The shared-state problems of this object:
+//
+//   - any view change → recompute the responsibility assignment
+//     (deterministic from the membership, so purely local);
+//   - partition merge → *state merging*: concurrent partitions kept
+//     inserting independently; reconciliation is the add-only union.
+//     Under enriched views only one representative per subview dumps its
+//     cluster's data (members of a subview provably hold the same set);
+//     under flat views every member must dump — another concrete cost of
+//     the missing structure.
+package lookupdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modes"
+	"repro/internal/simnet"
+	"repro/internal/sstate"
+	"repro/internal/stable"
+)
+
+// Errors returned by the DB API.
+var (
+	// ErrNotServing is returned by Insert outside N-mode.
+	ErrNotServing = errors.New("lookupdb: settling, try again")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("lookupdb: closed")
+)
+
+// Config parametrizes a replica.
+type Config struct {
+	// Enriched selects §6.2 local classification and per-subview dumps.
+	Enriched bool
+}
+
+// DB is one replica of the look-up database.
+type DB struct {
+	p   *core.Process
+	cfg Config
+
+	mu       sync.Mutex
+	machine  *modes.Machine
+	data     map[string]string
+	settling *settle
+	closed   bool
+
+	statsMu sync.Mutex
+	stats   DBStats
+
+	done chan struct{}
+}
+
+// DBStats counts reconciliation activity for experiments.
+type DBStats struct {
+	Classifications map[sstate.Kind]int
+	DumpsSent       int
+	DumpBytes       int
+	Reconciles      int
+}
+
+type settle struct {
+	view core.EView
+	// want is the set of senders whose dump this round still needs:
+	// one representative per subview (enriched) or everyone (flat).
+	want ids.PIDSet
+}
+
+type dbMsg struct {
+	Type string            `json:"t"` // "ins", "dump"
+	Key  string            `json:"k,omitempty"`
+	Val  string            `json:"v,omitempty"`
+	Data map[string]string `json:"data,omitempty"`
+	From ids.PID           `json:"from"`
+}
+
+var dbMagic = []byte("\x01lookupdb1\x00")
+
+func encodeMsg(m dbMsg) []byte {
+	body, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("lookupdb: encode: %v", err)) // unreachable
+	}
+	return append(append([]byte{}, dbMagic...), body...)
+}
+
+func decodeMsg(payload []byte) (dbMsg, bool) {
+	if !bytes.HasPrefix(payload, dbMagic) {
+		return dbMsg{}, false
+	}
+	var m dbMsg
+	if err := json.Unmarshal(payload[len(dbMagic):], &m); err != nil {
+		return dbMsg{}, false
+	}
+	return m, true
+}
+
+// Open starts a replica.
+func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*DB, error) {
+	coreOpts.Enriched = cfg.Enriched
+	p, err := core.Start(fabric, reg, site, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("lookupdb: %w", err)
+	}
+	db := &DB{
+		p:    p,
+		cfg:  cfg,
+		data: make(map[string]string),
+		done: make(chan struct{}),
+	}
+	db.stats.Classifications = make(map[sstate.Kind]int)
+	go db.run()
+	return db, nil
+}
+
+// Process exposes the underlying process.
+func (db *DB) Process() *core.Process { return db.p }
+
+// Mode returns the current Figure-1 mode (only N and S exist for this
+// object).
+func (db *DB) Mode() modes.Mode {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.machine == nil {
+		return modes.Settling
+	}
+	return db.machine.Mode()
+}
+
+// Stats returns a snapshot of the counters.
+func (db *DB) Stats() DBStats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	out := db.stats
+	out.Classifications = make(map[sstate.Kind]int, len(db.stats.Classifications))
+	for k, v := range db.stats.Classifications {
+		out.Classifications[k] = v
+	}
+	return out
+}
+
+// Insert upserts a key (add-only data model: keys are never deleted, so
+// partition-merge reconciliation is the set union). Requires N-mode.
+func (db *DB) Insert(key, value string) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.machine == nil || db.machine.Mode() != modes.Normal {
+		db.mu.Unlock()
+		return ErrNotServing
+	}
+	db.mu.Unlock()
+	return db.p.Multicast(encodeMsg(dbMsg{Type: "ins", Key: key, Val: value, From: db.p.PID()}))
+}
+
+// Lookup performs the external operation: a local search of the replica.
+// Per the paper it is available in any view.
+func (db *DB) Lookup(key string) (string, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, ok := db.data[key]
+	return v, ok
+}
+
+// Len returns the number of stored keys.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.data)
+}
+
+// Keys returns all keys (unordered).
+func (db *DB) Keys() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.data))
+	for k := range db.data {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ResponsibleFor returns the view member responsible for searching key
+// under the current division of responsibility: the assignment the
+// S-mode transition exists to keep consistent. It is a pure function of
+// the current view membership, so all members agree on it as soon as
+// they agree on the view.
+func (db *DB) ResponsibleFor(key string) (ids.PID, bool) {
+	members := db.p.CurrentView().Members
+	if len(members) == 0 {
+		return ids.PID{}, false
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return members[int(h.Sum32())%len(members)], true
+}
+
+// MyShare reports whether this replica is responsible for key.
+func (db *DB) MyShare(key string) bool {
+	p, ok := db.ResponsibleFor(key)
+	return ok && p == db.p.PID()
+}
+
+// ScanMine returns the keys this replica is responsible for — its slice
+// of a parallel query.
+func (db *DB) ScanMine() []string {
+	db.mu.Lock()
+	keys := make([]string, 0, len(db.data))
+	for k := range db.data {
+		keys = append(keys, k)
+	}
+	db.mu.Unlock()
+	var out []string
+	for _, k := range keys {
+		if db.MyShare(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Close leaves the group.
+func (db *DB) Close() {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return
+	}
+	db.closed = true
+	db.mu.Unlock()
+	db.p.Leave()
+	<-db.done
+}
+
+// run consumes the event stream.
+func (db *DB) run() {
+	defer close(db.done)
+	for ev := range db.p.Events() {
+		switch e := ev.(type) {
+		case core.ViewEvent:
+			db.onView(e.EView)
+		case core.EChangeEvent:
+			// Structure merges do not affect this object's mode function
+			// (AlwaysSettle); they only feed the next classification.
+			// The sequencer chains the subview merge behind the sv-set
+			// merge here.
+			db.maybeMergeStructure(e.EView)
+		case core.MsgEvent:
+			db.onMsg(e)
+		}
+	}
+}
+
+func (db *DB) onView(v core.EView) {
+	db.mu.Lock()
+	if db.machine == nil {
+		db.machine = modes.NewMachine(modes.AlwaysSettle(), v)
+	} else {
+		db.machine.OnView(v)
+	}
+
+	s := &settle{view: v, want: make(ids.PIDSet)}
+	db.settling = s
+
+	everyClusterServed := func(ids.PIDSet) bool { return true }
+	if db.cfg.Enriched {
+		class := sstate.ClassifyEnriched(v, everyClusterServed)
+		db.countClassification(class.Kind)
+		// One representative (smallest member) per subview dumps; a
+		// single-subview view (pure shrink) needs no dumps at all.
+		if v.Structure.NumSubviews() > 1 {
+			for _, sv := range v.Structure.Subviews() {
+				if rep, ok := v.Structure.SubviewMembers(sv).Min(); ok {
+					s.want.Add(rep)
+				}
+			}
+		}
+	} else {
+		// Flat views: no way to tell who diverged — everyone dumps.
+		for _, m := range v.Members {
+			s.want.Add(m)
+		}
+	}
+	mustDump := s.want.Has(db.p.PID())
+	var dump map[string]string
+	if mustDump {
+		dump = make(map[string]string, len(db.data))
+		for k, val := range db.data {
+			dump[k] = val
+		}
+	}
+	db.mu.Unlock()
+
+	if mustDump {
+		payload := encodeMsg(dbMsg{Type: "dump", Data: dump, From: db.p.PID()})
+		db.statsMu.Lock()
+		db.stats.DumpsSent++
+		db.stats.DumpBytes += len(payload)
+		db.statsMu.Unlock()
+		_ = db.p.Multicast(payload)
+	}
+	db.advance()
+}
+
+func (db *DB) countClassification(k sstate.Kind) {
+	db.statsMu.Lock()
+	db.stats.Classifications[k]++
+	db.statsMu.Unlock()
+}
+
+func (db *DB) onMsg(m core.MsgEvent) {
+	msg, ok := decodeMsg(m.Payload)
+	if !ok {
+		return
+	}
+	switch msg.Type {
+	case "ins":
+		db.mu.Lock()
+		db.upsertLocked(msg.Key, msg.Val)
+		db.mu.Unlock()
+	case "dump":
+		db.mu.Lock()
+		if db.settling != nil && m.View == db.settling.view.ID {
+			for k, v := range msg.Data {
+				db.upsertLocked(k, v)
+			}
+			db.settling.want.Remove(msg.From)
+		}
+		db.mu.Unlock()
+		db.advance()
+	}
+}
+
+// upsertLocked merges one entry. Causal multicast does not totally order
+// concurrent inserts, and dumps from concurrent partitions arrive in
+// arbitrary relative order, so the merge must be order-insensitive:
+// conflicting values for one key resolve deterministically to the
+// lexicographically largest, making the replicated map a join
+// semilattice (convergence regardless of delivery interleaving).
+func (db *DB) upsertLocked(k, v string) {
+	if old, ok := db.data[k]; ok && old >= v {
+		return
+	}
+	db.data[k] = v
+}
+
+// advance reconciles once every awaited dump arrived: the union is
+// complete, the responsibility assignment is implied by the view, so the
+// internal operation is done.
+func (db *DB) advance() {
+	db.mu.Lock()
+	s := db.settling
+	if s == nil || db.machine == nil || db.machine.Mode() != modes.Settling || len(s.want) > 0 {
+		db.mu.Unlock()
+		return
+	}
+	view := s.view
+	_, err := db.machine.Reconcile()
+	if err == nil {
+		db.settling = nil
+	}
+	db.mu.Unlock()
+
+	if err == nil {
+		db.statsMu.Lock()
+		db.stats.Reconciles++
+		db.statsMu.Unlock()
+	}
+	// The sequencer merges the structure back together for the next
+	// classification round (§6.2 methodology); no one waits on it.
+	db.maybeMergeStructure(view)
+}
+
+// maybeMergeStructure lets the view sequencer fold a reconciled view's
+// structure back into a single subview: first the sv-sets, then (driven
+// again by the resulting e-change event) the subviews.
+func (db *DB) maybeMergeStructure(v core.EView) {
+	if !db.cfg.Enriched {
+		return
+	}
+	if min, ok := v.Comp().Min(); !ok || min != db.p.PID() {
+		return
+	}
+	if sss := v.Structure.SVSets(); len(sss) > 1 {
+		_ = db.p.SVSetMerge(sss...)
+		return
+	}
+	if svs := v.Structure.Subviews(); len(svs) > 1 {
+		_ = db.p.SubviewMerge(svs...)
+	}
+}

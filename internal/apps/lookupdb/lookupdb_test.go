@@ -1,0 +1,356 @@
+package lookupdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/modes"
+	"repro/internal/sstate"
+	"repro/internal/vstest"
+)
+
+func clusterDB(t *testing.T, seed int64, n int, enriched bool) (*vstest.Net, []*DB) {
+	t.Helper()
+	net := vstest.NewNet(t, seed)
+	dbs := make([]*DB, 0, n)
+	for i := 0; i < n; i++ {
+		db, err := Open(net.Fabric, net.Reg, vstest.SiteName(i), vstest.FastOptions(), Config{Enriched: enriched})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		t.Cleanup(db.Close)
+		dbs = append(dbs, db)
+	}
+	waitNormal(t, dbs, 10*time.Second)
+	return net, dbs
+}
+
+func waitNormal(t *testing.T, dbs []*DB, timeout time.Duration) {
+	t.Helper()
+	for _, db := range dbs {
+		db := db
+		vstest.Eventually(t, timeout, fmt.Sprintf("%v in N-mode", db.Process().PID()), func() bool {
+			return db.Mode() == modes.Normal
+		})
+	}
+}
+
+func insertRetry(t *testing.T, db *DB, k, v string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := db.Insert(k, v); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("insert %q never succeeded", k)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestInsertAndLookupEverywhere(t *testing.T) {
+	_, dbs := clusterDB(t, 200, 3, true)
+	insertRetry(t, dbs[0], "k1", "v1", 5*time.Second)
+	for _, db := range dbs {
+		db := db
+		vstest.Eventually(t, 3*time.Second, "replication", func() bool {
+			v, ok := db.Lookup("k1")
+			return ok && v == "v1"
+		})
+	}
+}
+
+func TestLookupWorksInAnyView(t *testing.T) {
+	// The paper: R-mode does not exist for this object; look-ups serve
+	// even in a singleton partition.
+	net, dbs := clusterDB(t, 201, 3, true)
+	insertRetry(t, dbs[0], "k", "v", 5*time.Second)
+	for _, db := range dbs {
+		db := db
+		vstest.Eventually(t, 3*time.Second, "replication", func() bool {
+			_, ok := db.Lookup("k")
+			return ok
+		})
+	}
+	net.Fabric.SetPartitions([]string{"a"}, []string{"b", "c"})
+	vstest.Eventually(t, 10*time.Second, "a alone", func() bool {
+		return dbs[0].Process().CurrentView().Size() == 1
+	})
+	if v, ok := dbs[0].Lookup("k"); !ok || v != "v" {
+		t.Fatalf("lookup in singleton partition = %q, %v", v, ok)
+	}
+}
+
+func TestStateMergingAfterPartition(t *testing.T) {
+	// The add-only union: both sides insert during the partition; after
+	// the merge everyone holds everything. This is the paper's state
+	// merging problem, solved by the union.
+	for _, enriched := range []bool{true, false} {
+		enriched := enriched
+		t.Run(fmt.Sprintf("enriched=%v", enriched), func(t *testing.T) {
+			net, dbs := clusterDB(t, 202, 4, enriched)
+			insertRetry(t, dbs[0], "base", "0", 5*time.Second)
+
+			net.Fabric.SetPartitions([]string{"a", "b"}, []string{"c", "d"})
+			vstest.Eventually(t, 10*time.Second, "left side settles", func() bool {
+				return dbs[0].Process().CurrentView().Size() == 2 && dbs[0].Mode() == modes.Normal
+			})
+			vstest.Eventually(t, 10*time.Second, "right side settles", func() bool {
+				return dbs[2].Process().CurrentView().Size() == 2 && dbs[2].Mode() == modes.Normal
+			})
+
+			insertRetry(t, dbs[0], "left-key", "L", 5*time.Second)
+			insertRetry(t, dbs[2], "right-key", "R", 5*time.Second)
+
+			net.Fabric.Heal()
+			vstest.Eventually(t, 15*time.Second, "merged view", func() bool {
+				return dbs[0].Process().CurrentView().Size() == 4
+			})
+			waitNormal(t, dbs, 15*time.Second)
+			for _, db := range dbs {
+				db := db
+				vstest.Eventually(t, 5*time.Second, "union complete", func() bool {
+					l, okL := db.Lookup("left-key")
+					r, okR := db.Lookup("right-key")
+					b, okB := db.Lookup("base")
+					return okL && okR && okB && l == "L" && r == "R" && b == "0"
+				})
+			}
+
+			// The classifier saw a merging-flavored problem on some
+			// member after the heal.
+			mergings := 0
+			for _, db := range dbs {
+				st := db.Stats()
+				mergings += st.Classifications[sstate.Merging] + st.Classifications[sstate.TransferMerging]
+			}
+			if enriched && mergings == 0 {
+				t.Error("no merging classification recorded after heal")
+			}
+		})
+	}
+}
+
+func TestEnrichedDumpsLessThanFlat(t *testing.T) {
+	// Under enriched views only one representative per subview dumps;
+	// under flat views everyone does. After the same schedule the flat
+	// cluster must have sent more dumps.
+	run := func(enriched bool) int {
+		net, dbs := clusterDB(t, 203, 4, enriched)
+		insertRetry(t, dbs[0], "x", "1", 5*time.Second)
+		net.Fabric.SetPartitions([]string{"a", "b"}, []string{"c", "d"})
+		vstest.Eventually(t, 10*time.Second, "split", func() bool {
+			return dbs[0].Process().CurrentView().Size() == 2 &&
+				dbs[2].Process().CurrentView().Size() == 2
+		})
+		net.Fabric.Heal()
+		vstest.Eventually(t, 15*time.Second, "merged", func() bool {
+			return dbs[0].Process().CurrentView().Size() == 4
+		})
+		waitNormal(t, dbs, 15*time.Second)
+		total := 0
+		for _, db := range dbs {
+			total += db.Stats().DumpsSent
+		}
+		return total
+	}
+	flat := run(false)
+	enr := run(true)
+	if enr >= flat {
+		t.Errorf("enriched dumps (%d) not fewer than flat (%d)", enr, flat)
+	}
+}
+
+func TestResponsibilityPartitionsKeyspace(t *testing.T) {
+	// The invariant S-mode exists to protect: every key has exactly one
+	// responsible member, and all members agree on the assignment.
+	_, dbs := clusterDB(t, 204, 3, true)
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	vstest.Eventually(t, 5*time.Second, "assignment agreement", func() bool {
+		for _, k := range keys {
+			owner0, ok := dbs[0].ResponsibleFor(k)
+			if !ok {
+				return false
+			}
+			for _, db := range dbs[1:] {
+				o, ok := db.ResponsibleFor(k)
+				if !ok || o != owner0 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	// Each key is in exactly one member's share.
+	for _, k := range keys {
+		owners := 0
+		for _, db := range dbs {
+			if db.MyShare(k) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %q has %d owners", k, owners)
+		}
+	}
+}
+
+func TestScanMineCoversExactlyOwnShare(t *testing.T) {
+	_, dbs := clusterDB(t, 205, 3, true)
+	for i := 0; i < 30; i++ {
+		insertRetry(t, dbs[i%3], fmt.Sprintf("k%d", i), "v", 5*time.Second)
+	}
+	vstest.Eventually(t, 5*time.Second, "full replication", func() bool {
+		for _, db := range dbs {
+			if db.Len() != 30 {
+				return false
+			}
+		}
+		return true
+	})
+	// The union of all ScanMine slices is the whole database, without
+	// duplicates — the parallel query searches everything exactly once.
+	seen := make(map[string]int)
+	for _, db := range dbs {
+		for _, k := range db.ScanMine() {
+			seen[k]++
+		}
+	}
+	if len(seen) != 30 {
+		t.Fatalf("parallel scan covered %d keys, want 30", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %q scanned %d times", k, n)
+		}
+	}
+}
+
+func TestInsertRejectedWhileSettling(t *testing.T) {
+	net := vstest.NewNet(t, 206)
+	db, err := Open(net.Fabric, net.Reg, "a", vstest.FastOptions(), Config{Enriched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do not wait for N: immediately after open the machine may still be
+	// settling; Insert must fail cleanly rather than hang.
+	err = db.Insert("k", "v")
+	if err != nil && err != ErrNotServing {
+		t.Fatalf("Insert while settling: %v", err)
+	}
+	db.Close()
+	if err := db.Insert("k", "v"); err != ErrClosed {
+		t.Fatalf("Insert after close: %v", err)
+	}
+}
+
+func TestConcurrentSameKeyInsertsConverge(t *testing.T) {
+	// Concurrent inserts of one key are causally unordered; the
+	// order-insensitive merge rule must still make all replicas agree.
+	_, dbs := clusterDB(t, 208, 3, true)
+	// Track which inserts were actually accepted (a transient view
+	// change makes Insert return ErrNotServing; those values are simply
+	// never multicast and must not count toward the expected winner).
+	accepted := make(map[string][]string)
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("contended-%d", i%4)
+		for j, db := range dbs {
+			v := fmt.Sprintf("%c-%02d", 'a'+j, i)
+			if err := db.Insert(k, v); err == nil {
+				accepted[k] = append(accepted[k], v)
+			}
+		}
+	}
+	// Seed any key whose inserts all failed, so agreement is reachable.
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("contended-%d", i)
+		if len(accepted[k]) == 0 {
+			insertRetry(t, dbs[0], k, "a-seed", 5*time.Second)
+			accepted[k] = append(accepted[k], "a-seed")
+		}
+	}
+	vstest.Eventually(t, 5*time.Second, "replica agreement", func() bool {
+		for i := 0; i < 4; i++ {
+			k := fmt.Sprintf("contended-%d", i)
+			ref, ok := dbs[0].Lookup(k)
+			if !ok {
+				return false
+			}
+			for _, db := range dbs[1:] {
+				v, ok := db.Lookup(k)
+				if !ok || v != ref {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	// And each winner is the lattice maximum of the accepted values.
+	for k, vals := range accepted {
+		max := ""
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		if got, _ := dbs[0].Lookup(k); got != max {
+			t.Fatalf("%s winner = %q, want the lexicographic max %q", k, got, max)
+		}
+	}
+}
+
+func TestSameKeyDivergenceAcrossPartitionConverges(t *testing.T) {
+	// Both sides write the same key during a partition; after the merge
+	// every replica resolves to the same value.
+	net, dbs := clusterDB(t, 209, 4, true)
+	insertRetry(t, dbs[0], "shared", "initial", 5*time.Second)
+	net.Fabric.SetPartitions([]string{"a", "b"}, []string{"c", "d"})
+	vstest.Eventually(t, 10*time.Second, "split", func() bool {
+		return dbs[0].Process().CurrentView().Size() == 2 &&
+			dbs[2].Process().CurrentView().Size() == 2
+	})
+	waitNormal(t, dbs, 15*time.Second)
+	insertRetry(t, dbs[0], "shared", "left-wins?", 5*time.Second)
+	insertRetry(t, dbs[2], "shared", "right-wins?", 5*time.Second)
+
+	net.Fabric.Heal()
+	vstest.Eventually(t, 15*time.Second, "merged", func() bool {
+		return dbs[0].Process().CurrentView().Size() == 4
+	})
+	waitNormal(t, dbs, 15*time.Second)
+	vstest.Eventually(t, 5*time.Second, "value agreement", func() bool {
+		ref, ok := dbs[0].Lookup("shared")
+		if !ok {
+			return false
+		}
+		for _, db := range dbs[1:] {
+			if v, ok := db.Lookup("shared"); !ok || v != ref {
+				return false
+			}
+		}
+		return true
+	})
+	if v, _ := dbs[0].Lookup("shared"); v != "right-wins?" {
+		t.Fatalf("merged value = %q, want lattice max right-wins?", v)
+	}
+}
+
+func TestJoinerReceivesFullDatabase(t *testing.T) {
+	net, dbs := clusterDB(t, 207, 3, true)
+	for i := 0; i < 10; i++ {
+		insertRetry(t, dbs[0], fmt.Sprintf("pre-%d", i), "v", 5*time.Second)
+	}
+	joiner, err := Open(net.Fabric, net.Reg, "d", vstest.FastOptions(), Config{Enriched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(joiner.Close)
+	vstest.Eventually(t, 15*time.Second, "joiner catches up", func() bool {
+		return joiner.Mode() == modes.Normal && joiner.Len() == 10
+	})
+}

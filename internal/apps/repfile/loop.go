@@ -1,0 +1,381 @@
+package repfile
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modes"
+	"repro/internal/sstate"
+)
+
+// run consumes the process's event stream; it is the only goroutine that
+// drives the mode machine and the reconciliation protocol. A slow ticker
+// re-announces while a settle round is open: an announcement can be
+// deferred past its view by a racing view change, and without retries a
+// quiet group would never complete the round.
+func (f *File) run() {
+	defer func() {
+		f.mu.Lock()
+		for _, ch := range f.waiters {
+			ch <- ErrClosed
+		}
+		f.waiters = make(map[string]chan error)
+		f.mu.Unlock()
+		close(f.done)
+	}()
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	events := f.p.Events()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			switch e := ev.(type) {
+			case core.ViewEvent:
+				f.onView(e.EView)
+			case core.EChangeEvent:
+				f.onEChange(e)
+			case core.MsgEvent:
+				f.onMsg(e)
+			}
+		case <-tick.C:
+			f.reannounce()
+		}
+	}
+}
+
+// reannounce repeats the per-view announcements while a settle round is
+// open. The version announcement carries the current version (receivers
+// overwrite per sender); the flat-protocol announcement repeats the
+// original claim verbatim — re-deriving it would change this member's
+// reported predecessor mode and corrupt the classification.
+func (f *File) reannounce() {
+	f.mu.Lock()
+	settling := f.settling != nil
+	version := f.version
+	flat := f.flatAnnouncement
+	f.mu.Unlock()
+	if !settling {
+		return
+	}
+	_ = f.p.Multicast(encodeMsg(fileMsg{Type: "ver", Version: version, From: f.p.PID()}))
+	if flat != nil {
+		_ = f.p.Multicast(flat)
+	}
+	f.advance()
+}
+
+func (f *File) onView(v core.EView) {
+	f.mu.Lock()
+	// Capture the pre-change mode and view for the flat announcement.
+	prevMode := modes.Settling
+	prevView := ids.ViewID{}
+	if f.machine != nil {
+		prevMode = f.machine.Mode()
+		prevView = f.machine.View().ID
+	}
+
+	if f.machine == nil {
+		fn := modes.QuorumFlat(f.cfg.RW)
+		if f.cfg.Enriched {
+			fn = modes.QuorumEnriched(f.p.PID(), f.cfg.RW)
+		}
+		f.machine = modes.NewMachine(fn, v)
+	} else {
+		f.machine.OnView(v)
+	}
+
+	// A view change aborts in-flight writes (retryable) and transfers.
+	for op, ch := range f.waiters {
+		ch <- ErrTimeout
+		delete(f.waiters, op)
+	}
+	f.tool.Abort()
+	f.settling = nil
+
+	// Fresh per-view version table; every member announces, whatever its
+	// mode, so both settlers and the N-mode merge driver can proceed.
+	f.verView = v.ID
+	f.verTable = map[ids.PID]uint64{f.p.PID(): f.version}
+
+	if f.machine.Mode() == modes.Settling {
+		s := &settleState{view: v}
+		f.settling = s
+		if f.cfg.Enriched {
+			class := sstate.ClassifyEnriched(v, f.wasNormal)
+			s.class = &class
+			f.countClassification(class.Kind)
+		} else {
+			s.proto = sstate.NewProtocol(v)
+		}
+	}
+	version := f.version
+	f.flatAnnouncement = nil
+	if !f.cfg.Enriched {
+		if payload, err := sstate.Announcement(f.p.PID(), prevView, prevMode); err == nil {
+			f.flatAnnouncement = payload
+		}
+	}
+	flat := f.flatAnnouncement
+	f.mu.Unlock()
+
+	_ = f.p.Multicast(encodeMsg(fileMsg{Type: "ver", Version: version, From: f.p.PID()}))
+	if flat != nil {
+		_ = f.p.Multicast(flat)
+	}
+	f.advance()
+}
+
+// wasNormal is the group-shared judgment for the classifier: a cluster
+// was serving in N-mode iff it holds a write quorum.
+func (f *File) wasNormal(cluster ids.PIDSet) bool {
+	return f.cfg.RW.CanWrite(cluster)
+}
+
+func (f *File) countClassification(k sstate.Kind) {
+	f.statsMu.Lock()
+	f.stats.Classifications[k]++
+	f.statsMu.Unlock()
+}
+
+func (f *File) onEChange(e core.EChangeEvent) {
+	f.mu.Lock()
+	if f.machine != nil {
+		f.machine.OnView(e.EView)
+	}
+	if f.settling != nil {
+		f.settling.view = e.EView
+	}
+	f.mu.Unlock()
+	f.advance()
+}
+
+func (f *File) onMsg(m core.MsgEvent) {
+	// Transfer traffic first.
+	if pr, handled, _ := f.tool.HandleMessage(m); handled {
+		if pr.Done {
+			f.mu.Lock()
+			pulled := f.settling != nil && f.settling.pulling
+			if f.settling != nil {
+				f.settling.pulling = false
+			}
+			f.verTable[f.p.PID()] = f.version
+			version := f.version
+			f.mu.Unlock()
+			if pulled {
+				f.statsMu.Lock()
+				f.stats.TransfersPulled++
+				f.statsMu.Unlock()
+				// Re-announce so peers (and the merge-driving sequencer)
+				// learn we caught up.
+				_ = f.p.Multicast(encodeMsg(fileMsg{Type: "ver", Version: version, From: f.p.PID()}))
+			}
+			f.advance()
+		}
+		return
+	}
+	// Flat classification protocol traffic.
+	if sstate.IsInfo(m.Payload) {
+		f.mu.Lock()
+		s := f.settling
+		if s != nil && s.proto != nil && m.View == s.view.ID {
+			done, _ := s.proto.Offer(m)
+			if done && s.class == nil {
+				if class, err := s.proto.Classify(); err == nil {
+					s.class = &class
+					f.countClassification(class.Kind)
+				}
+			}
+		}
+		f.mu.Unlock()
+		f.advance()
+		return
+	}
+	msg, ok := decodeMsg(m.Payload)
+	if !ok {
+		return
+	}
+	switch msg.Type {
+	case "wreq":
+		f.onWriteRequest(msg)
+	case "write":
+		f.onWrite(msg)
+	case "ver":
+		f.mu.Lock()
+		if m.View == f.verView {
+			f.verTable[m.From] = msg.Version
+		}
+		f.mu.Unlock()
+		f.advance()
+	}
+}
+
+// onWriteRequest runs at the view sequencer: assign the next version and
+// multicast the write to the view.
+func (f *File) onWriteRequest(msg fileMsg) {
+	f.mu.Lock()
+	isSeq := false
+	if min, ok := f.p.CurrentView().Comp().Min(); ok {
+		isSeq = min == f.p.PID()
+	}
+	serving := f.machine != nil && f.machine.Mode() == modes.Normal
+	if !isSeq || !serving {
+		f.mu.Unlock()
+		return // requester times out and retries
+	}
+	if f.lastAssigned < f.version {
+		f.lastAssigned = f.version
+	}
+	f.lastAssigned++
+	next := f.lastAssigned
+	f.mu.Unlock()
+	_ = f.p.Multicast(encodeMsg(fileMsg{
+		Type:    "write",
+		Op:      msg.Op,
+		Version: next,
+		Data:    msg.Data,
+		From:    msg.From,
+	}))
+}
+
+// onWrite applies a sequenced write at every member.
+func (f *File) onWrite(msg fileMsg) {
+	f.mu.Lock()
+	if msg.Version > f.version {
+		f.version = msg.Version
+		f.content = append([]byte{}, msg.Data...)
+		f.persistLocked()
+		f.statsMu.Lock()
+		f.stats.WritesApplied++
+		f.statsMu.Unlock()
+	}
+	// A write is multicast to (and, by Agreement, delivered by) every
+	// view member, and it carries the complete content — so every member
+	// that stays in the view is at least at msg.Version now. Refresh the
+	// announcement table accordingly, or the merge driver would stall on
+	// announcements that predate the write.
+	for _, q := range f.p.CurrentView().Members {
+		if f.verTable[q] < msg.Version {
+			f.verTable[q] = msg.Version
+		}
+	}
+	f.verTable[f.p.PID()] = f.version
+	if ch, ok := f.waiters[msg.Op]; ok {
+		ch <- nil
+		delete(f.waiters, msg.Op)
+	}
+	f.mu.Unlock()
+	f.advance()
+}
+
+// advance drives both the settler's reconciliation and the sequencer's
+// merge duty; it is safe to call repeatedly from any event.
+func (f *File) advance() {
+	type action int
+	const (
+		actNone action = iota
+		actPull
+		actMergeSVSets
+		actMergeSubviews
+	)
+
+	f.mu.Lock()
+	if f.machine == nil {
+		f.mu.Unlock()
+		return
+	}
+	view := f.p.CurrentView()
+	comp := view.Comp()
+
+	allAnnounced := f.verView == view.ID && len(f.verTable) >= len(comp)
+	var maxVer uint64
+	for _, v := range f.verTable {
+		if v > maxVer {
+			maxVer = v
+		}
+	}
+	allEqual := allAnnounced
+	if allAnnounced {
+		for _, v := range f.verTable {
+			if v != maxVer {
+				allEqual = false
+				break
+			}
+		}
+	}
+
+	act := actNone
+	var donor ids.PID
+
+	// Settler duty: pull state if behind.
+	if s := f.settling; s != nil && f.machine.Mode() == modes.Settling &&
+		allAnnounced && s.class != nil && f.version < maxVer && !s.pulling {
+		holders := make(ids.PIDSet)
+		for p, v := range f.verTable {
+			if v == maxVer {
+				holders.Add(p)
+			}
+		}
+		if d, ok := holders.Min(); ok {
+			donor = d
+			s.pulling = true
+			act = actPull
+		}
+	}
+
+	// Sequencer duty (enriched, any mode): once everyone is caught up,
+	// merge the structure back into a single subview (§6.2).
+	if act == actNone && f.cfg.Enriched && allEqual {
+		if min, ok := comp.Min(); ok && min == f.p.PID() {
+			if view.Structure.NumSVSets() > 1 {
+				act = actMergeSVSets
+			} else if view.Structure.NumSubviews() > 1 {
+				act = actMergeSubviews
+			}
+		}
+	}
+
+	// Settler duty: reconcile once state and (enriched) structure agree.
+	reconciled := false
+	if act == actNone && f.settling != nil && f.machine.Mode() == modes.Settling &&
+		allEqual && f.settling.class != nil {
+		target := f.machine.Target()
+		ready := (f.cfg.Enriched && target == modes.Normal) ||
+			(!f.cfg.Enriched && target != modes.Reduced)
+		if ready {
+			if _, err := f.machine.Reconcile(); err == nil {
+				f.settling = nil
+				reconciled = true
+			}
+		}
+	}
+
+	var (
+		svsets   []ids.SVSetID
+		subviews []ids.SubviewID
+	)
+	switch act {
+	case actMergeSVSets:
+		svsets = view.Structure.SVSets()
+	case actMergeSubviews:
+		subviews = view.Structure.Subviews()
+	}
+	f.mu.Unlock()
+
+	if reconciled {
+		f.statsMu.Lock()
+		f.stats.Reconciles++
+		f.statsMu.Unlock()
+	}
+	switch act {
+	case actPull:
+		_ = f.tool.Request(donor)
+	case actMergeSVSets:
+		_ = f.p.SVSetMerge(svsets...)
+	case actMergeSubviews:
+		_ = f.p.SubviewMerge(subviews...)
+	}
+}

@@ -1,0 +1,342 @@
+// Package repfile implements the paper's first group-object example
+// (Section 3): a replicated file with external operations read and write.
+//
+// Correctness criteria, straight from the paper: with respect to writes
+// the object behaves as if there were a single copy; reads may return
+// stale data. Each replica holds votes; a write quorum is obtainable in
+// at most one concurrent view, so divergent writes are impossible.
+//
+// The mode mapping of the example:
+//
+//	N — the view holds a write quorum and this replica is up to date:
+//	    reads and writes are served;
+//	R — no write quorum: reads only (possibly stale);
+//	S — quorum view but the replica set is not reconciled (a member
+//	    joined, recovered, or the quorum was reassembled): the replica
+//	    runs the internal reconciliation protocol before returning to N.
+//
+// Reconciliation is driven by the shared-state classifier: every member
+// announces its version; behind members pull the state from an
+// up-to-date donor with the transfer tool; under enriched views the
+// subviews are then merged (§6.2 methodology) so the structure again
+// shows one up-to-date quorum subview.
+package repfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modes"
+	"repro/internal/quorum"
+	"repro/internal/simnet"
+	"repro/internal/sstate"
+	"repro/internal/stable"
+	"repro/internal/transfer"
+)
+
+// Errors returned by the File API.
+var (
+	// ErrNotWritable is returned by Write outside N-mode.
+	ErrNotWritable = errors.New("repfile: no write quorum / not reconciled")
+	// ErrTimeout is returned when a write does not complete in time
+	// (e.g. a view change interrupted it); the caller may retry.
+	ErrTimeout = errors.New("repfile: operation timed out")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("repfile: closed")
+)
+
+// Config parametrizes a replica.
+type Config struct {
+	// RW is the quorum system shared by all replicas.
+	RW quorum.RW
+	// Enriched selects §6.2 local classification (requires the process
+	// to run with enriched views); when false the replica runs the flat
+	// classification protocol (one announcement round) instead.
+	Enriched bool
+	// Transfer configures the state transfer tool.
+	Transfer transfer.Options
+	// WriteTimeout bounds Write (default 2s).
+	WriteTimeout time.Duration
+}
+
+// File is one replica of the group object.
+type File struct {
+	p    *core.Process
+	cfg  Config
+	st   *stable.Store
+	tool *transfer.Tool
+
+	mu      sync.Mutex
+	machine *modes.Machine
+	version uint64
+	content []byte
+	waiters map[string]chan error // pending writes by op id
+	nextOp  uint64
+	// lastAssigned is the highest version this replica handed out while
+	// acting as write sequencer, so back-to-back requests get distinct
+	// versions before the first write round-trips.
+	lastAssigned uint64
+	closed       bool
+	settling     *settleState
+	// verView / verTable track the per-view version announcements every
+	// member multicasts at view installation. Members in N-mode use it
+	// to drive subview merges for caught-up joiners without leaving N
+	// (§6.2: processes in the up-to-date subview are not disturbed).
+	verView  ids.ViewID
+	verTable map[ids.PID]uint64
+	// flatAnnouncement is this view's flat-protocol announcement, kept
+	// verbatim for periodic re-announcement while settling.
+	flatAnnouncement []byte
+
+	// statsMu guards counters exported for experiments.
+	statsMu sync.Mutex
+	stats   FileStats
+
+	done chan struct{}
+}
+
+// FileStats counts reconciliation activity for experiments.
+type FileStats struct {
+	Classifications map[sstate.Kind]int
+	TransfersPulled int
+	Reconciles      int
+	WritesApplied   uint64
+}
+
+// settleState tracks one reconciliation round (one per installed view).
+type settleState struct {
+	view    core.EView
+	proto   *sstate.Protocol // flat mode only
+	class   *sstate.Classification
+	pulling bool
+}
+
+// wire envelopes (application-level payloads).
+type fileMsg struct {
+	Type    string  `json:"t"`              // "wreq", "write", "ver"
+	Op      string  `json:"op,omitempty"`   // write op id
+	Version uint64  `json:"ver,omitempty"`  // write/announced version
+	Data    []byte  `json:"data,omitempty"` // write payload
+	From    ids.PID `json:"from"`
+}
+
+var fileMagic = []byte("\x01repfile1\x00")
+
+func encodeMsg(m fileMsg) []byte {
+	body, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("repfile: encode: %v", err)) // unreachable: static type
+	}
+	return append(append([]byte{}, fileMagic...), body...)
+}
+
+func decodeMsg(payload []byte) (fileMsg, bool) {
+	if !bytes.HasPrefix(payload, fileMagic) {
+		return fileMsg{}, false
+	}
+	var m fileMsg
+	if err := json.Unmarshal(payload[len(fileMagic):], &m); err != nil {
+		return fileMsg{}, false
+	}
+	return m, true
+}
+
+// Stable-storage keys.
+const (
+	keyVersion = "repfile/version"
+	keyContent = "repfile/content"
+)
+
+// Open starts a replica at the given site. The core options' Enriched
+// flag is forced to match cfg.Enriched.
+func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*File, error) {
+	coreOpts.Enriched = cfg.Enriched
+	coreOpts.LogViews = true
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 2 * time.Second
+	}
+	p, err := core.Start(fabric, reg, site, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("repfile: %w", err)
+	}
+	f := &File{
+		p:       p,
+		cfg:     cfg,
+		st:      reg.Open(site),
+		waiters: make(map[string]chan error),
+		done:    make(chan struct{}),
+	}
+	f.stats.Classifications = make(map[sstate.Kind]int)
+	// Recover permanent state (the paper's "part of the local state may
+	// be permanent").
+	if raw, ok := f.st.Get(keyVersion); ok && len(raw) == 8 {
+		f.version = binary.BigEndian.Uint64(raw)
+		if c, ok := f.st.Get(keyContent); ok {
+			f.content = c
+		}
+	}
+	f.tool = transfer.New(p, (*fileState)(f), cfg.Transfer)
+	go f.run()
+	return f, nil
+}
+
+// Process exposes the underlying process (tests and experiments).
+func (f *File) Process() *core.Process { return f.p }
+
+// Mode returns the current Figure-1 mode.
+func (f *File) Mode() modes.Mode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.machine == nil {
+		return modes.Settling
+	}
+	return f.machine.Mode()
+}
+
+// ModeMachine gives tests access to transition statistics.
+func (f *File) ModeMachine() *modes.Machine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.machine
+}
+
+// Stats returns a snapshot of the reconciliation counters.
+func (f *File) Stats() FileStats {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	out := f.stats
+	out.Classifications = make(map[sstate.Kind]int, len(f.stats.Classifications))
+	for k, v := range f.stats.Classifications {
+		out.Classifications[k] = v
+	}
+	return out
+}
+
+// Read returns the local replica content and its version. In R-mode the
+// result may be stale, which the object's specification allows.
+func (f *File) Read() (version uint64, content []byte, mode modes.Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := modes.Settling
+	if f.machine != nil {
+		m = f.machine.Mode()
+	}
+	return f.version, append([]byte{}, f.content...), m
+}
+
+// Write replaces the file content. It succeeds only in N-mode (write
+// quorum present and replica reconciled); the write is sequenced by the
+// view's smallest member and applied by every member of the view, giving
+// single-copy semantics for writes.
+func (f *File) Write(data []byte) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.machine == nil || f.machine.Mode() != modes.Normal {
+		f.mu.Unlock()
+		return ErrNotWritable
+	}
+	f.nextOp++
+	op := fmt.Sprintf("%v/%d", f.p.PID(), f.nextOp)
+	ch := make(chan error, 1)
+	f.waiters[op] = ch
+	f.mu.Unlock()
+
+	defer func() {
+		f.mu.Lock()
+		delete(f.waiters, op)
+		f.mu.Unlock()
+	}()
+
+	view := f.p.CurrentView()
+	seqr, ok := view.Comp().Min()
+	if !ok {
+		return ErrNotWritable
+	}
+	payload := encodeMsg(fileMsg{Type: "wreq", Op: op, Data: data, From: f.p.PID()})
+	if err := f.p.Unicast(seqr, payload); err != nil {
+		return fmt.Errorf("repfile: write request: %w", err)
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(f.cfg.WriteTimeout):
+		return ErrTimeout
+	case <-f.done:
+		return ErrClosed
+	}
+}
+
+// Close leaves the group.
+func (f *File) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	f.p.Leave()
+	<-f.done
+}
+
+// fileState adapts File to transfer.App. Critical piece: version header;
+// bulk: content.
+type fileState File
+
+// MarshalCritical implements transfer.App.
+func (s *fileState) MarshalCritical() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], s.version)
+	return buf[:], nil
+}
+
+// MarshalBulk implements transfer.App.
+func (s *fileState) MarshalBulk() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], s.version)
+	return append(buf[:], s.content...), nil
+}
+
+// ApplyCritical implements transfer.App: learning the target version
+// early lets the replica know how far behind it is.
+func (s *fileState) ApplyCritical(b []byte) error {
+	return nil // informational only for this object
+}
+
+// ApplyBulk implements transfer.App.
+func (s *fileState) ApplyBulk(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("repfile: short bulk state (%d bytes)", len(b))
+	}
+	version := binary.BigEndian.Uint64(b[:8])
+	content := append([]byte{}, b[8:]...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version > s.version {
+		s.version = version
+		s.content = content
+		(*File)(s).persistLocked()
+	}
+	return nil
+}
+
+func (f *File) persistLocked() {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], f.version)
+	f.st.Put(keyVersion, buf[:])
+	f.st.Put(keyContent, f.content)
+}

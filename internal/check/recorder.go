@@ -1,0 +1,149 @@
+// Package check records per-process event traces and verifies the
+// view-synchrony and enriched-view-synchrony properties over them:
+//
+//	P2.1 Agreement, P2.2 Uniqueness, P2.3 Integrity (Section 2)
+//	P6.1 Total order, P6.2 Causal cuts, P6.3 Structure (Section 6)
+//
+// A Recorder implements core.Observer; attach one to every process in a
+// test or experiment (Options.Observer), run any fault schedule, then
+// call Verify. Violations come back as errors, one per finding.
+package check
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// entryKind discriminates trace entries.
+type entryKind int
+
+const (
+	entryDeliver entryKind = iota + 1
+	entryView
+	entryEChange
+)
+
+// entry is one recorded event at one process, in local order.
+type entry struct {
+	kind entryKind
+	msg  core.MsgEvent
+	view core.ViewEvent
+	ech  core.EChangeEvent
+}
+
+// sendRec is one recorded multicast.
+type sendRec struct {
+	id   ids.MsgID
+	view ids.ViewID
+}
+
+// procTrace is the ordered history of one process.
+type procTrace struct {
+	pid     ids.PID
+	entries []entry
+	sends   []sendRec
+}
+
+// Recorder collects traces from any number of processes. Safe for
+// concurrent use (observer callbacks arrive from every process's
+// protocol goroutine).
+type Recorder struct {
+	mu     sync.Mutex
+	traces map[ids.PID]*procTrace
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{traces: make(map[ids.PID]*procTrace)}
+}
+
+var _ core.Observer = (*Recorder)(nil)
+
+func (r *Recorder) trace(pid ids.PID) *procTrace {
+	t, ok := r.traces[pid]
+	if !ok {
+		t = &procTrace{pid: pid}
+		r.traces[pid] = t
+	}
+	return t
+}
+
+// OnSend implements core.Observer.
+func (r *Recorder) OnSend(self ids.PID, id ids.MsgID, view ids.ViewID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.trace(self)
+	t.sends = append(t.sends, sendRec{id: id, view: view})
+}
+
+// OnDeliver implements core.Observer.
+func (r *Recorder) OnDeliver(self ids.PID, ev core.MsgEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.trace(self)
+	t.entries = append(t.entries, entry{kind: entryDeliver, msg: ev})
+}
+
+// OnView implements core.Observer.
+func (r *Recorder) OnView(self ids.PID, ev core.ViewEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.trace(self)
+	t.entries = append(t.entries, entry{kind: entryView, view: ev})
+}
+
+// OnEChange implements core.Observer.
+func (r *Recorder) OnEChange(self ids.PID, ev core.EChangeEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.trace(self)
+	t.entries = append(t.entries, entry{kind: entryEChange, ech: ev})
+}
+
+// Summary aggregates trace sizes, useful in experiment reports.
+type Summary struct {
+	Processes  int
+	Sends      int
+	Deliveries int
+	Views      int
+	EChanges   int
+}
+
+// Summary returns aggregate counts over all traces.
+func (r *Recorder) Summary() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Summary
+	s.Processes = len(r.traces)
+	for _, t := range r.traces {
+		s.Sends += len(t.sends)
+		for _, e := range t.entries {
+			switch e.kind {
+			case entryDeliver:
+				s.Deliveries++
+			case entryView:
+				s.Views++
+			case entryEChange:
+				s.EChanges++
+			}
+		}
+	}
+	return s
+}
+
+// snapshot returns a deep-enough copy of the traces for verification
+// outside the lock.
+func (r *Recorder) snapshot() map[ids.PID]*procTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ids.PID]*procTrace, len(r.traces))
+	for pid, t := range r.traces {
+		cp := &procTrace{pid: pid}
+		cp.entries = append(cp.entries, t.entries...)
+		cp.sends = append(cp.sends, t.sends...)
+		out[pid] = cp
+	}
+	return out
+}

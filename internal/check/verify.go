@@ -1,0 +1,401 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Verify runs every property check over the recorded traces and returns
+// all violations found (nil means every property held).
+func (r *Recorder) Verify() []error {
+	traces := r.snapshot()
+	var errs []error
+	errs = append(errs, checkIntegrity(traces)...)
+	errs = append(errs, checkUniqueness(traces)...)
+	errs = append(errs, checkAgreement(traces)...)
+	errs = append(errs, checkViewOrder(traces)...)
+	errs = append(errs, checkStructures(traces)...)
+	errs = append(errs, checkEChangeTotalOrder(traces)...)
+	errs = append(errs, checkEChangeCuts(traces)...)
+	errs = append(errs, checkStructurePreservation(traces)...)
+	return errs
+}
+
+// checkIntegrity verifies P2.3: a message is delivered at most once per
+// process, and only if some process multicast it.
+func checkIntegrity(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	sent := make(map[ids.MsgID]ids.ViewID)
+	for _, t := range traces {
+		for _, s := range t.sends {
+			sent[s.id] = s.view
+		}
+	}
+	for pid, t := range traces {
+		seen := make(map[ids.MsgID]struct{})
+		for _, e := range t.entries {
+			if e.kind != entryDeliver {
+				continue
+			}
+			id := e.msg.ID
+			if _, dup := seen[id]; dup {
+				errs = append(errs, fmt.Errorf("integrity: %v delivered %v twice", pid, id))
+			}
+			seen[id] = struct{}{}
+			if _, ok := sent[id]; !ok {
+				errs = append(errs, fmt.Errorf("integrity: %v delivered %v which nobody sent", pid, id))
+			}
+		}
+	}
+	return errs
+}
+
+// checkUniqueness verifies P2.2: each message is delivered in at most one
+// view (and exactly the view it was multicast in).
+func checkUniqueness(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	sent := make(map[ids.MsgID]ids.ViewID)
+	for _, t := range traces {
+		for _, s := range t.sends {
+			sent[s.id] = s.view
+		}
+	}
+	deliveredIn := make(map[ids.MsgID]ids.ViewID)
+	for pid, t := range traces {
+		for _, e := range t.entries {
+			if e.kind != entryDeliver {
+				continue
+			}
+			id, view := e.msg.ID, e.msg.View
+			if prev, ok := deliveredIn[id]; ok && prev != view {
+				errs = append(errs, fmt.Errorf("uniqueness: %v delivered in views %v and %v", id, prev, view))
+			}
+			deliveredIn[id] = view
+			if origin, ok := sent[id]; ok && origin != view {
+				errs = append(errs, fmt.Errorf("uniqueness: %v sent in %v but delivered in %v at %v", id, origin, view, pid))
+			}
+		}
+	}
+	return errs
+}
+
+// transition is one process's passage from view From to view To, with the
+// set of messages it delivered in From.
+type transition struct {
+	pid       ids.PID
+	from, to  ids.ViewID
+	delivered map[ids.MsgID]struct{}
+}
+
+// transitions extracts every completed view transition from a trace.
+func transitions(t *procTrace) []transition {
+	var out []transition
+	var cur ids.ViewID
+	delivered := make(map[ids.MsgID]struct{})
+	started := false
+	for _, e := range t.entries {
+		switch e.kind {
+		case entryDeliver:
+			if e.msg.Unicast {
+				continue // addressed traffic is outside Agreement
+			}
+			delivered[e.msg.ID] = struct{}{}
+		case entryView:
+			next := e.view.EView.ID
+			if started {
+				out = append(out, transition{pid: t.pid, from: cur, to: next, delivered: delivered})
+			}
+			cur = next
+			started = true
+			delivered = make(map[ids.MsgID]struct{})
+		}
+	}
+	return out
+}
+
+// checkAgreement verifies P2.1: any two processes that survive from the
+// same view to the same next view delivered the same message set in the
+// old view.
+func checkAgreement(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	byEdge := make(map[[2]ids.ViewID][]transition)
+	for _, t := range traces {
+		for _, tr := range transitions(t) {
+			key := [2]ids.ViewID{tr.from, tr.to}
+			byEdge[key] = append(byEdge[key], tr)
+		}
+	}
+	for edge, trs := range byEdge {
+		if len(trs) < 2 {
+			continue
+		}
+		ref := trs[0]
+		for _, tr := range trs[1:] {
+			if len(tr.delivered) != len(ref.delivered) {
+				errs = append(errs, fmt.Errorf(
+					"agreement: %v->%v: %v delivered %d msgs, %v delivered %d",
+					edge[0], edge[1], ref.pid, len(ref.delivered), tr.pid, len(tr.delivered)))
+				continue
+			}
+			for id := range ref.delivered {
+				if _, ok := tr.delivered[id]; !ok {
+					errs = append(errs, fmt.Errorf(
+						"agreement: %v->%v: %v delivered %v, %v did not",
+						edge[0], edge[1], ref.pid, id, tr.pid))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// checkViewOrder verifies that each process installs strictly increasing
+// view ids and is always a member of the views it installs.
+func checkViewOrder(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	for pid, t := range traces {
+		var prev ids.ViewID
+		started := false
+		for _, e := range t.entries {
+			if e.kind != entryView {
+				continue
+			}
+			v := e.view.EView
+			if started && !prev.Less(v.ID) {
+				errs = append(errs, fmt.Errorf("view order: %v installed %v after %v", pid, v.ID, prev))
+			}
+			prev = v.ID
+			started = true
+			if !v.HasMember(pid) {
+				errs = append(errs, fmt.Errorf("view order: %v installed %v without being a member", pid, v.ID))
+			}
+		}
+	}
+	return errs
+}
+
+// checkStructures verifies that every delivered structure satisfies the
+// §6.1 invariants against its view composition.
+func checkStructures(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	for pid, t := range traces {
+		for _, e := range t.entries {
+			var v core.EView
+			switch e.kind {
+			case entryView:
+				v = e.view.EView
+			case entryEChange:
+				v = e.ech.EView
+			default:
+				continue
+			}
+			if err := v.Structure.Validate(v.Comp()); err != nil {
+				errs = append(errs, fmt.Errorf("structure: %v in view %v: %w", pid, v.ID, err))
+			}
+		}
+	}
+	return errs
+}
+
+// echKey summarizes one e-view change for cross-process comparison.
+type echKey struct {
+	seq  uint32
+	kind core.EChangeKind
+	sv   ids.SubviewID
+	ss   ids.SVSetID
+}
+
+// checkEChangeTotalOrder verifies P6.1: within each view, every process
+// applies a prefix of one common, totally ordered sequence of e-view
+// changes.
+func checkEChangeTotalOrder(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	perView := make(map[ids.ViewID]map[ids.PID][]echKey)
+	for pid, t := range traces {
+		for _, e := range t.entries {
+			if e.kind != entryEChange {
+				continue
+			}
+			v := e.ech.EView.ID
+			if perView[v] == nil {
+				perView[v] = make(map[ids.PID][]echKey)
+			}
+			perView[v][pid] = append(perView[v][pid], echKey{
+				seq:  e.ech.Seq,
+				kind: e.ech.Kind,
+				sv:   e.ech.NewSubview,
+				ss:   e.ech.NewSVSet,
+			})
+		}
+	}
+	for view, byProc := range perView {
+		// Find the longest sequence; all others must be a prefix of it.
+		var longest []echKey
+		for _, seq := range byProc {
+			if len(seq) > len(longest) {
+				longest = seq
+			}
+		}
+		for pid, seq := range byProc {
+			for i, k := range seq {
+				if uint32(i+1) != k.seq {
+					errs = append(errs, fmt.Errorf(
+						"e-change order: %v in %v applied seq %d at position %d", pid, view, k.seq, i+1))
+					continue
+				}
+				if longest[i] != k {
+					errs = append(errs, fmt.Errorf(
+						"e-change order: %v in %v diverges at seq %d: %+v vs %+v",
+						pid, view, i+1, k, longest[i]))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// checkEChangeCuts verifies P6.2: each e-view change defines a consistent
+// cut. For every process, the vector clock at the instant it applies
+// change s is reconstructed from its delivery history; the resulting
+// per-process vectors must form a consistent cut.
+func checkEChangeCuts(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	// cut[(view, seq)][pid] = vector at apply instant
+	type cutKey struct {
+		view ids.ViewID
+		seq  uint32
+	}
+	cuts := make(map[cutKey]map[ids.PID]clock.Vector)
+	for pid, t := range traces {
+		var curView ids.ViewID
+		vc := clock.NewVector()
+		for _, e := range t.entries {
+			switch e.kind {
+			case entryView:
+				curView = e.view.EView.ID
+				vc = clock.NewVector()
+			case entryDeliver:
+				if e.msg.View == curView {
+					vc.Merge(e.msg.Stamp)
+				}
+			case entryEChange:
+				vc.Merge(e.ech.Stamp)
+				key := cutKey{view: e.ech.EView.ID, seq: e.ech.Seq}
+				if cuts[key] == nil {
+					cuts[key] = make(map[ids.PID]clock.Vector)
+				}
+				cuts[key][pid] = vc.Clone()
+			}
+		}
+	}
+	for key, cut := range cuts {
+		if !clock.ConsistentCut(cut) {
+			errs = append(errs, fmt.Errorf(
+				"e-change cut: view %v change %d is not a consistent cut", key.view, key.seq))
+		}
+	}
+	return errs
+}
+
+// checkStructurePreservation verifies P6.3: for each process's view
+// transition v -> v', processes that shared a subview (sv-set) in the
+// final structure of v and made the *same* transition still share one
+// in v'. A peer that reached v' through a different intermediate view
+// (e.g. a transient singleton during asymmetric partition detection) is
+// exempt: its grouping legitimately shrank along its own path, and
+// re-admitting it into the subview would require an application merge.
+func checkStructurePreservation(traces map[ids.PID]*procTrace) []error {
+	var errs []error
+	// predOf[(pid, view)] = the view pid transitioned from when
+	// installing view.
+	type key struct {
+		pid  ids.PID
+		view ids.ViewID
+	}
+	predOf := make(map[key]ids.ViewID)
+	for pid, t := range traces {
+		var cur ids.ViewID
+		started := false
+		for _, e := range t.entries {
+			if e.kind != entryView {
+				continue
+			}
+			v := e.view.EView.ID
+			if started {
+				predOf[key{pid, v}] = cur
+			}
+			cur = v
+			started = true
+		}
+	}
+	samePath := func(y ids.PID, old, next ids.ViewID) bool {
+		if pred, ok := predOf[key{y, next}]; ok {
+			return pred == old
+		}
+		// No recorded transition for y (e.g. no trace): assume the same
+		// path, which keeps the check conservative for partial traces.
+		return true
+	}
+	for pid, t := range traces {
+		var prev *core.EView // final enriched view before transition
+		for _, e := range t.entries {
+			switch e.kind {
+			case entryEChange:
+				v := e.ech.EView
+				prev = &v
+			case entryView:
+				v := e.view.EView
+				if prev != nil {
+					errs = append(errs, comparePreservation(pid, *prev, v, samePath)...)
+				}
+				prev = &v
+			}
+		}
+	}
+	return errs
+}
+
+func comparePreservation(pid ids.PID, old, next core.EView, samePath func(ids.PID, ids.ViewID, ids.ViewID) bool) []error {
+	var errs []error
+	survivors := old.Comp().Intersect(next.Comp()).Sorted()
+	for i := 0; i < len(survivors); i++ {
+		for j := i + 1; j < len(survivors); j++ {
+			x, y := survivors[i], survivors[j]
+			if !samePath(x, old.ID, next.ID) || !samePath(y, old.ID, next.ID) {
+				continue
+			}
+			oldX, okX := old.Structure.SubviewOf(x)
+			oldY, okY := old.Structure.SubviewOf(y)
+			if !okX || !okY {
+				continue
+			}
+			newX, _ := next.Structure.SubviewOf(x)
+			newY, _ := next.Structure.SubviewOf(y)
+			if oldX == oldY && newX != newY {
+				errs = append(errs, fmt.Errorf(
+					"preservation: %v: %v and %v shared subview %v in %v but are split in %v",
+					pid, x, y, oldX, old.ID, next.ID))
+			}
+			oldSSX, _ := old.Structure.SVSetOf(oldX)
+			oldSSY, _ := old.Structure.SVSetOf(oldY)
+			newSSX, _ := next.Structure.SVSetOf(newX)
+			newSSY, _ := next.Structure.SVSetOf(newY)
+			if oldSSX == oldSSY && newSSX != newSSY {
+				errs = append(errs, fmt.Errorf(
+					"preservation: %v: %v and %v shared sv-set %v in %v but are split in %v",
+					pid, x, y, oldSSX, old.ID, next.ID))
+			}
+		}
+	}
+	return errs
+}
+
+// SortErrors orders verification errors deterministically by message
+// (handy for stable test output).
+func SortErrors(errs []error) {
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+}

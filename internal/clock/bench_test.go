@@ -1,0 +1,97 @@
+package clock
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func benchPIDs(n int) []ids.PID {
+	out := make([]ids.PID, n)
+	for i := range out {
+		out[i] = ids.PID{Site: fmt.Sprintf("s%03d", i), Inc: 1}
+	}
+	return out
+}
+
+// BenchmarkVectorMerge measures the per-delivery cost of merging a
+// message stamp into the local clock.
+func BenchmarkVectorMerge(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pids := benchPIDs(n)
+			v, w := NewVector(), NewVector()
+			for i, p := range pids {
+				v[p] = uint64(i)
+				w[p] = uint64(n - i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Merge(w)
+			}
+		})
+	}
+}
+
+// BenchmarkCausalBufferInOrder measures the happy path: messages arrive
+// already deliverable.
+func BenchmarkCausalBufferInOrder(b *testing.B) {
+	p := ids.PID{Site: "a", Inc: 1}
+	msgs := make([]testMsg, 1024)
+	for i := range msgs {
+		msgs[i] = testMsg{sender: p, stamp: Vector{p: uint64(i + 1)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := NewCausalBuffer[testMsg]()
+		for _, m := range msgs {
+			if got := buf.Offer(m); len(got) != 1 {
+				b.Fatal("not delivered")
+			}
+		}
+	}
+}
+
+// BenchmarkCausalBufferReordered measures a worst-ish case: per-sender
+// streams offered fully reversed.
+func BenchmarkCausalBufferReordered(b *testing.B) {
+	p := ids.PID{Site: "a", Inc: 1}
+	const n = 128
+	msgs := make([]testMsg, n)
+	for i := range msgs {
+		msgs[i] = testMsg{sender: p, stamp: Vector{p: uint64(n - i)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := NewCausalBuffer[testMsg]()
+		total := 0
+		for _, m := range msgs {
+			total += len(buf.Offer(m))
+		}
+		if total != n {
+			b.Fatalf("delivered %d of %d", total, n)
+		}
+	}
+}
+
+// BenchmarkConsistentCut measures the checker's cut validation.
+func BenchmarkConsistentCut(b *testing.B) {
+	pids := benchPIDs(16)
+	cut := make(map[ids.PID]Vector, len(pids))
+	for _, p := range pids {
+		v := NewVector()
+		for _, q := range pids {
+			v[q] = 5
+		}
+		v[p] = 7
+		cut[p] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ConsistentCut(cut) {
+			b.Fatal("cut should be consistent")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package clock
+
+import (
+	"repro/internal/ids"
+)
+
+// CausalMsg is the interface the causal buffer needs from a message: who
+// multicast it and with what vector timestamp.
+type CausalMsg interface {
+	CausalSender() ids.PID
+	CausalStamp() Vector
+}
+
+// CausalBuffer implements causal-order delivery within a fixed membership
+// (one view), using the Birman–Schiper–Stephenson condition: a message m
+// multicast by p with stamp V is deliverable at q once q has delivered
+// every message that causally precedes m, i.e. V[p] == seen[p]+1 and
+// V[r] <= seen[r] for all r != p.
+//
+// The buffer is not safe for concurrent use; the protocol engine confines
+// it to its event loop. A fresh buffer is created at every view install
+// (causal order, like the other delivery guarantees, is per-view).
+type CausalBuffer[M CausalMsg] struct {
+	seen    Vector
+	pending []M
+}
+
+// NewCausalBuffer returns a buffer with an all-zero delivered vector.
+func NewCausalBuffer[M CausalMsg]() *CausalBuffer[M] {
+	return &CausalBuffer[M]{seen: NewVector()}
+}
+
+// Seen returns the vector of messages delivered so far (do not mutate).
+func (b *CausalBuffer[M]) Seen() Vector { return b.seen }
+
+// Pending returns the number of buffered undeliverable messages.
+func (b *CausalBuffer[M]) Pending() int { return len(b.pending) }
+
+// Offer submits a received message and returns the (possibly empty) batch
+// of messages that became deliverable, in causal order. The caller must
+// deliver them in the returned order.
+func (b *CausalBuffer[M]) Offer(m M) []M {
+	b.pending = append(b.pending, m)
+	var out []M
+	for {
+		progressed := false
+		for i := 0; i < len(b.pending); i++ {
+			if b.deliverable(b.pending[i]) {
+				msg := b.pending[i]
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				b.seen.Merge(msg.CausalStamp())
+				out = append(out, msg)
+				progressed = true
+				i--
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// RecordLocal notes a locally multicast (self-delivered) message's stamp so
+// that subsequent remote messages depending on it become deliverable.
+func (b *CausalBuffer[M]) RecordLocal(stamp Vector) {
+	b.seen.Merge(stamp)
+}
+
+// Drain returns and removes every still-undeliverable message. Called at
+// view changes; the flush protocol decides their fate.
+func (b *CausalBuffer[M]) Drain() []M {
+	out := b.pending
+	b.pending = nil
+	return out
+}
+
+func (b *CausalBuffer[M]) deliverable(m M) bool {
+	sender := m.CausalSender()
+	stamp := m.CausalStamp()
+	for p, t := range stamp {
+		if p == sender {
+			if t != b.seen[p]+1 {
+				return false
+			}
+			continue
+		}
+		if t > b.seen[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistentCut reports whether the given per-process vector timestamps
+// form a consistent cut: no process's cut state reflects an event that
+// another process's cut state has not yet sent. Formally, for processes
+// p and q with cut vectors Vp and Vq, we need Vq[p] <= Vp[p]: q must not
+// have seen more of p's events than p itself had at the cut.
+//
+// The trace checker uses this to verify Property 6.2 (e-view changes
+// define consistent cuts) from recorded stamps.
+func ConsistentCut(cut map[ids.PID]Vector) bool {
+	for p, vp := range cut {
+		own := vp.Get(p)
+		for _, vq := range cut {
+			if vq.Get(p) > own {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+// Package core implements the run-time of (enriched) view synchrony: a
+// partitionable group membership service integrated with reliable
+// multicast, satisfying the paper's Section-2 properties —
+//
+//	P2.1 Agreement:  processes that survive from one view to the same
+//	                 next view deliver the same set of messages;
+//	P2.2 Uniqueness: a message is delivered in at most one view (the view
+//	                 it was multicast in);
+//	P2.3 Integrity:  a message is delivered at most once per process and
+//	                 only if some process multicast it;
+//
+// — extended with the Section-6 enriched-view service: views carry a
+// subview / sv-set structure that shrinks on failures and grows only via
+// application-requested merges, with e-view changes totally ordered
+// within a view (P6.1), forming consistent cuts (P6.2), and preserved
+// across view changes (P6.3).
+//
+// Each process runs a single event-loop goroutine owning all protocol
+// state; the application talks to it through Process's methods and
+// consumes events from Process.Events.
+package core
+
+import (
+	"repro/internal/clock"
+	"repro/internal/evs"
+	"repro/internal/ids"
+)
+
+// EView is an enriched view as delivered to the application: the agreed
+// composition plus the subview / sv-set structure. For a process running
+// with Options.Enriched == false the structure is the degenerate single
+// subview in a single sv-set (the traditional, "flat" view abstraction).
+type EView struct {
+	// ID identifies the view; totally ordered along any process history.
+	ID ids.ViewID
+	// Members is the agreed composition, sorted.
+	Members []ids.PID
+	// Structure is the subview / sv-set decomposition, including the
+	// effect of every e-view change applied so far in this view.
+	Structure evs.Structure
+	// Changes counts the e-view changes applied within this view (zero
+	// right after installation).
+	Changes uint32
+}
+
+// Comp returns the composition as a fresh PIDSet.
+func (v EView) Comp() ids.PIDSet { return ids.NewPIDSet(v.Members...) }
+
+// Size returns the number of members.
+func (v EView) Size() int { return len(v.Members) }
+
+// HasMember reports whether p is in the view.
+func (v EView) HasMember(p ids.PID) bool {
+	for _, m := range v.Members {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Cluster returns the members of p's subview — the processes whose
+// structure proves they have been together since their last application
+// merge. The §6.2 methodology runs external operations within this set.
+func (v EView) Cluster(p ids.PID) ids.PIDSet {
+	sv, ok := v.Structure.SubviewOf(p)
+	if !ok {
+		return nil
+	}
+	return v.Structure.SubviewMembers(sv)
+}
+
+// CoSubview reports whether p and q currently share a subview.
+func (v EView) CoSubview(p, q ids.PID) bool {
+	sp, okP := v.Structure.SubviewOf(p)
+	sq, okQ := v.Structure.SubviewOf(q)
+	return okP && okQ && sp == sq
+}
+
+// Event is what the run-time delivers to the application. The concrete
+// types are MsgEvent, ViewEvent, and EChangeEvent.
+type Event interface{ isEvent() }
+
+// MsgEvent is the delivery of an application multicast.
+type MsgEvent struct {
+	// ID is the message identifier (sender + per-sender sequence).
+	ID ids.MsgID
+	// From is the multicasting process.
+	From ids.PID
+	// View is the view the message was multicast — and is delivered — in.
+	View ids.ViewID
+	// Payload is the application payload. Do not mutate.
+	Payload []byte
+	// Stamp is the sender's vector timestamp for the multicast; the
+	// delivery order respects causality within the view.
+	Stamp clock.Vector
+	// Flushed reports that the delivery happened during the flush phase
+	// of a view change (the message was delivered by a peer surviving
+	// with us, so Agreement forces it into our history too).
+	Flushed bool
+	// Unicast reports that the message was addressed to this process
+	// alone (Process.Unicast). Unicasts keep Uniqueness and Integrity
+	// but are outside the Agreement property.
+	Unicast bool
+}
+
+func (MsgEvent) isEvent() {}
+
+// ViewEvent is the installation of a new view (a view change).
+type ViewEvent struct {
+	EView EView
+}
+
+func (ViewEvent) isEvent() {}
+
+// EChangeKind says which merge operation caused an e-view change.
+type EChangeKind int
+
+// E-view change kinds.
+const (
+	EChangeSubviewMerge EChangeKind = iota + 1
+	EChangeSVSetMerge
+)
+
+// String renders the kind.
+func (k EChangeKind) String() string {
+	switch k {
+	case EChangeSubviewMerge:
+		return "SubviewMerge"
+	case EChangeSVSetMerge:
+		return "SVSetMerge"
+	default:
+		return "EChange(?)"
+	}
+}
+
+// EChangeEvent is an e-view change within the current view: the view
+// composition is unchanged but the subview / sv-set structure evolved by
+// an application-requested merge.
+type EChangeEvent struct {
+	// EView is the enriched view after applying the change.
+	EView EView
+	// Kind is the merge operation applied.
+	Kind EChangeKind
+	// Seq is the change's sequence number within the view (1-based);
+	// all members apply e-view changes in identical Seq order (P6.1).
+	Seq uint32
+	// NewSubview is set for SubviewMerge: the merged subview.
+	NewSubview ids.SubviewID
+	// NewSVSet is set for SVSetMerge: the merged sv-set.
+	NewSVSet ids.SVSetID
+	// Stamp is the sequencer's vector timestamp for the change; e-view
+	// changes are delivered causally, making each a consistent cut
+	// (P6.2).
+	Stamp clock.Vector
+}
+
+func (EChangeEvent) isEvent() {}
+
+// Observer receives a synchronous callback for every externally
+// meaningful event at a process. The trace checker implements it; the
+// no-op zero Observer is used when tracing is off. Callbacks run on the
+// protocol goroutine: implementations must be fast and must not call back
+// into the Process.
+type Observer interface {
+	// OnSend fires when the process multicasts a message in a view.
+	OnSend(self ids.PID, id ids.MsgID, view ids.ViewID)
+	// OnDeliver fires when the process delivers a message.
+	OnDeliver(self ids.PID, ev MsgEvent)
+	// OnView fires when the process installs a view.
+	OnView(self ids.PID, ev ViewEvent)
+	// OnEChange fires when the process applies an e-view change.
+	OnEChange(self ids.PID, ev EChangeEvent)
+}
+
+// nopObserver is the default Observer.
+type nopObserver struct{}
+
+func (nopObserver) OnSend(ids.PID, ids.MsgID, ids.ViewID) {}
+func (nopObserver) OnDeliver(ids.PID, MsgEvent)           {}
+func (nopObserver) OnView(ids.PID, ViewEvent)             {}
+func (nopObserver) OnEChange(ids.PID, EChangeEvent)       {}

@@ -1,0 +1,50 @@
+package core
+
+import "sort"
+
+// causalTopoOrder orders flush messages so that delivery extends
+// causality: a message is emitted only after every message that causally
+// precedes it. Vector stamps give the partial order; ties (concurrent
+// messages) break deterministically by message id. Kahn's algorithm over
+// the (small) flush set; O(n²) comparisons are fine at flush sizes.
+func causalTopoOrder(msgs []pktData) []pktData {
+	if len(msgs) <= 1 {
+		return msgs
+	}
+	remaining := make([]pktData, len(msgs))
+	copy(remaining, msgs)
+	out := make([]pktData, 0, len(msgs))
+	for len(remaining) > 0 {
+		// Collect minimal elements: no other remaining message strictly
+		// precedes them.
+		minimal := remaining[:0:0]
+		var rest []pktData
+		for i, cand := range remaining {
+			isMin := true
+			for j, other := range remaining {
+				if i == j {
+					continue
+				}
+				if other.Stamp.Less(cand.Stamp) {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				minimal = append(minimal, cand)
+			} else {
+				rest = append(rest, cand)
+			}
+		}
+		if len(minimal) == 0 {
+			// A cycle is impossible for honest vector stamps; break
+			// defensively by id order so delivery always terminates.
+			minimal = remaining
+			rest = nil
+		}
+		sort.Slice(minimal, func(i, j int) bool { return lessMsgID(minimal[i].ID, minimal[j].ID) })
+		out = append(out, minimal...)
+		remaining = rest
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ids"
+)
+
+func mkData(sender ids.PID, seq uint64, stamp clock.Vector) pktData {
+	return pktData{ID: ids.MsgID{Sender: sender, Seq: seq}, Stamp: stamp}
+}
+
+func TestCausalTopoOrderRespectsStamps(t *testing.T) {
+	a := ids.PID{Site: "a", Inc: 1}
+	b := ids.PID{Site: "b", Inc: 1}
+	m1 := mkData(a, 1, clock.Vector{a: 1})
+	m2 := mkData(b, 1, clock.Vector{a: 1, b: 1}) // depends on m1
+	m3 := mkData(a, 2, clock.Vector{a: 2, b: 1}) // depends on both
+
+	for trial := 0; trial < 10; trial++ {
+		in := []pktData{m3, m2, m1}
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(in), func(i, j int) { in[i], in[j] = in[j], in[i] })
+		out := causalTopoOrder(in)
+		pos := make(map[ids.MsgID]int, len(out))
+		for i, d := range out {
+			pos[d.ID] = i
+		}
+		if !(pos[m1.ID] < pos[m2.ID] && pos[m2.ID] < pos[m3.ID]) {
+			t.Fatalf("order violates causality: %v", out)
+		}
+	}
+}
+
+func TestCausalTopoOrderConcurrentDeterministic(t *testing.T) {
+	a := ids.PID{Site: "a", Inc: 1}
+	b := ids.PID{Site: "b", Inc: 1}
+	ma := mkData(a, 1, clock.Vector{a: 1})
+	mb := mkData(b, 1, clock.Vector{b: 1})
+	out1 := causalTopoOrder([]pktData{ma, mb})
+	out2 := causalTopoOrder([]pktData{mb, ma})
+	if out1[0].ID != out2[0].ID || out1[1].ID != out2[1].ID {
+		t.Fatal("tie-break not deterministic")
+	}
+	if out1[0].ID != ma.ID {
+		t.Fatalf("tie-break should pick smaller id first, got %v", out1[0].ID)
+	}
+}
+
+func TestCausalTopoOrderEmptyAndSingle(t *testing.T) {
+	if got := causalTopoOrder(nil); len(got) != 0 {
+		t.Fatal("nil input")
+	}
+	a := ids.PID{Site: "a", Inc: 1}
+	one := []pktData{mkData(a, 1, clock.Vector{a: 1})}
+	if got := causalTopoOrder(one); len(got) != 1 {
+		t.Fatal("single input")
+	}
+}
+
+func TestCausalTopoOrderRandomHistories(t *testing.T) {
+	// Property: for randomly generated causal histories, the output
+	// always lists causal predecessors first and preserves all messages.
+	r := rand.New(rand.NewSource(21))
+	peers := []ids.PID{
+		{Site: "a", Inc: 1}, {Site: "b", Inc: 1}, {Site: "c", Inc: 1},
+	}
+	for trial := 0; trial < 100; trial++ {
+		clocks := map[ids.PID]clock.Vector{}
+		seqs := map[ids.PID]uint64{}
+		for _, p := range peers {
+			clocks[p] = clock.NewVector()
+		}
+		var history []pktData
+		for i := 0; i < 12; i++ {
+			p := peers[r.Intn(len(peers))]
+			for _, h := range history {
+				if r.Intn(3) == 0 {
+					clocks[p].Merge(h.Stamp)
+				}
+			}
+			clocks[p].Tick(p)
+			seqs[p]++
+			history = append(history, mkData(p, seqs[p], clocks[p].Clone()))
+		}
+		shuffled := make([]pktData, len(history))
+		copy(shuffled, history)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		out := causalTopoOrder(shuffled)
+		if len(out) != len(history) {
+			t.Fatalf("trial %d: lost messages: %d vs %d", trial, len(out), len(history))
+		}
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				if out[j].Stamp.Less(out[i].Stamp) {
+					t.Fatalf("trial %d: %v precedes %v but delivered later", trial, out[j].ID, out[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestClampSingleJoinUnit(t *testing.T) {
+	a := ids.PID{Site: "a", Inc: 1}
+	b := ids.PID{Site: "b", Inc: 1}
+	c := ids.PID{Site: "c", Inc: 1}
+	d := ids.PID{Site: "d", Inc: 1}
+
+	m := &machine{
+		p:    &Process{pid: a, opts: Options{SingleJoin: true}.withDefaults()},
+		comp: ids.NewPIDSet(a, b),
+	}
+	m.p.opts.SingleJoin = true
+
+	// Two newcomers: only the smallest is admitted.
+	got := m.clampSingleJoin(ids.NewPIDSet(a, b, c, d))
+	if !got.Equal(ids.NewPIDSet(a, b, c)) {
+		t.Fatalf("clamped = %v, want {a,b,c}", got)
+	}
+	// One newcomer passes through.
+	got = m.clampSingleJoin(ids.NewPIDSet(a, b, d))
+	if !got.Equal(ids.NewPIDSet(a, b, d)) {
+		t.Fatalf("clamped = %v, want {a,b,d}", got)
+	}
+	// Shrinking is never clamped.
+	got = m.clampSingleJoin(ids.NewPIDSet(a))
+	if !got.Equal(ids.NewPIDSet(a)) {
+		t.Fatalf("clamped = %v, want {a}", got)
+	}
+	// Disabled: pass-through.
+	m.p.opts.SingleJoin = false
+	got = m.clampSingleJoin(ids.NewPIDSet(a, b, c, d))
+	if !got.Equal(ids.NewPIDSet(a, b, c, d)) {
+		t.Fatalf("unclamped = %v", got)
+	}
+}
+
+func TestLessMsgID(t *testing.T) {
+	a := ids.PID{Site: "a", Inc: 1}
+	b := ids.PID{Site: "b", Inc: 1}
+	if !lessMsgID(ids.MsgID{Sender: a, Seq: 9}, ids.MsgID{Sender: b, Seq: 1}) {
+		t.Error("sender should dominate")
+	}
+	if !lessMsgID(ids.MsgID{Sender: a, Seq: 1}, ids.MsgID{Sender: a, Seq: 2}) {
+		t.Error("seq should break ties")
+	}
+	if lessMsgID(ids.MsgID{Sender: a, Seq: 1}, ids.MsgID{Sender: a, Seq: 1}) {
+		t.Error("irreflexive")
+	}
+}

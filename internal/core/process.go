@@ -1,0 +1,431 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/eventq"
+	"repro/internal/evs"
+	"repro/internal/fd"
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/stable"
+)
+
+// Errors returned by the Process API.
+var (
+	// ErrStopped is returned once the process has left or crashed.
+	ErrStopped = errors.New("core: process stopped")
+	// ErrBlocked is returned for operations that cannot proceed while a
+	// view change is in progress (e.g. merge requests); retry after the
+	// next view event.
+	ErrBlocked = errors.New("core: view change in progress")
+)
+
+// Stats are per-process counters, readable at any time.
+type Stats struct {
+	ViewsInstalled  uint64
+	MsgsSent        uint64
+	MsgsDelivered   uint64
+	FlushDeliveries uint64
+	EChangesApplied uint64
+	ProposalsSent   uint64
+	// StableMsgsPruned counts buffered messages discarded by stability
+	// tracking (delivered by every member, so no flush can need them).
+	StableMsgsPruned uint64
+}
+
+// Process is one group member: the application's handle on the (enriched)
+// view synchrony run-time. All methods are safe for concurrent use.
+type Process struct {
+	pid   ids.PID
+	opts  Options
+	ep    *simnet.Endpoint
+	store *stable.Store
+	obs   Observer
+
+	events *eventq.Queue[Event]
+	evch   chan Event
+	reqs   chan request
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+
+	mu    sync.Mutex
+	cur   EView
+	stats Stats
+
+	m machine // protocol state; loop-goroutine confined after Start
+}
+
+type reqKind int
+
+const (
+	reqMulticast reqKind = iota + 1
+	reqUnicast
+	reqMergeSubviews
+	reqMergeSVSets
+	reqForceSuspect
+	reqUnforceSuspect
+)
+
+type request struct {
+	kind     reqKind
+	payload  []byte
+	to       ids.PID
+	subviews []ids.SubviewID
+	svsets   []ids.SVSetID
+	reply    chan error
+}
+
+// Stable-storage keys used by the run-time.
+const (
+	keyInc   = "core/inc"
+	keyEpoch = "core/epoch"
+)
+
+// Start boots a new incarnation of the given site, attaches it to the
+// fabric, installs its bootstrap singleton view, and starts the protocol.
+// The first event on Events is always the ViewEvent for the singleton
+// view (the paper: a history begins with the view change that joins the
+// group); larger views follow as the membership protocol merges it with
+// whatever it can reach.
+func Start(fabric *simnet.Fabric, reg *stable.Registry, site string, opts Options) (*Process, error) {
+	opts = opts.withDefaults()
+	store := reg.Open(site)
+
+	inc := uint32(1)
+	if raw, ok := store.Get(keyInc); ok && len(raw) == 4 {
+		inc = binary.BigEndian.Uint32(raw) + 1
+	}
+	var incBuf [4]byte
+	binary.BigEndian.PutUint32(incBuf[:], inc)
+	store.Put(keyInc, incBuf[:])
+
+	pid := ids.PID{Site: site, Inc: inc}
+	ep, err := fabric.Attach(pid)
+	if err != nil {
+		return nil, fmt.Errorf("core: attach %v: %w", pid, err)
+	}
+
+	p := &Process{
+		pid:    pid,
+		opts:   opts,
+		ep:     ep,
+		store:  store,
+		obs:    opts.Observer,
+		events: eventq.New[Event](),
+		evch:   make(chan Event, 128),
+		reqs:   make(chan request, 64),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	p.m.init(p)
+
+	// Bootstrap: install the singleton view synchronously so the first
+	// delivered event is the join view change.
+	epoch := p.m.loadEpoch() + 1
+	bootID := ids.ViewID{Epoch: epoch, Coord: pid}
+	p.m.storeEpoch(epoch)
+	boot := EView{
+		ID:        bootID,
+		Members:   []ids.PID{pid},
+		Structure: evs.NewSingleton(bootID, pid),
+	}
+	if !opts.Enriched {
+		boot.Structure = evs.Flat(bootID, ids.NewPIDSet(pid))
+	}
+	p.m.installBootstrap(boot)
+
+	go p.run()
+	go p.pumpEvents()
+	return p, nil
+}
+
+// PID returns the process identifier of this incarnation.
+func (p *Process) PID() ids.PID { return p.pid }
+
+// Site returns the stable site name.
+func (p *Process) Site() string { return p.pid.Site }
+
+// Group returns the group name.
+func (p *Process) Group() string { return p.opts.Group }
+
+// Events returns the stream of views, e-view changes, and message
+// deliveries. The channel closes after Leave or Crash once all pending
+// events are consumed. There must be exactly one consumer.
+func (p *Process) Events() <-chan Event { return p.evch }
+
+// CurrentView returns a snapshot of the most recently installed enriched
+// view (including applied e-view changes).
+func (p *Process) CurrentView() EView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}
+
+// Stats returns a snapshot of the process counters.
+func (p *Process) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Multicast sends payload to the members of the current view with the
+// view-synchronous guarantees. If a view change is in progress the
+// message is queued and multicast in the next installed view (a message
+// is always delivered in the view it was sent in — P2.2).
+func (p *Process) Multicast(payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return p.submit(request{kind: reqMulticast, payload: cp})
+}
+
+// Unicast sends payload to a single member of the current view. Like a
+// multicast it is delivered only in the view it was sent in (P2.2) and at
+// most once (P2.3), but it is not subject to Agreement: if the view
+// changes first it is silently dropped and the caller must retry in the
+// new view. Returns ErrBlocked while a view change is in progress.
+func (p *Process) Unicast(to ids.PID, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return p.submit(request{kind: reqUnicast, to: to, payload: cp})
+}
+
+// SubviewMerge asks the view sequencer to merge the given subviews into
+// one, per §6.1. The operation is asynchronous: success is observed as an
+// EChangeEvent. Per the paper, a merge across different sv-sets has no
+// effect (no event will arrive). Returns ErrBlocked during view changes.
+func (p *Process) SubviewMerge(svs ...ids.SubviewID) error {
+	if len(svs) < 2 {
+		return fmt.Errorf("core: SubviewMerge needs >= 2 subviews")
+	}
+	return p.submit(request{kind: reqMergeSubviews, subviews: svs})
+}
+
+// SVSetMerge asks the view sequencer to merge the given sv-sets into one,
+// per §6.1. Asynchronous, like SubviewMerge.
+func (p *Process) SVSetMerge(sss ...ids.SVSetID) error {
+	if len(sss) < 2 {
+		return fmt.Errorf("core: SVSetMerge needs >= 2 sv-sets")
+	}
+	return p.submit(request{kind: reqMergeSVSets, svsets: sss})
+}
+
+// ForceSuspect injects a false suspicion of q into this process's
+// failure detector: q is treated as failed regardless of its heartbeats
+// until Unforce. The membership protocol reacts exactly as it would to a
+// real failure — the paper's point that a process cannot tell the
+// difference ("failures, whether real or due to false suspicions").
+// Fault-injection experiments and tests use this.
+func (p *Process) ForceSuspect(q ids.PID) error {
+	return p.submit(request{kind: reqForceSuspect, to: q})
+}
+
+// Unforce removes an injected suspicion of q.
+func (p *Process) Unforce(q ids.PID) error {
+	return p.submit(request{kind: reqUnforceSuspect, to: q})
+}
+
+// Leave gracefully terminates participation: peers are told immediately
+// (no suspicion timeout) and the process stops. The events channel closes
+// after the remaining events drain.
+func (p *Process) Leave() { p.shutdown(true) }
+
+// Crash kills the process without any farewell, modeling a real crash:
+// peers find out through the failure detector.
+func (p *Process) Crash() { p.shutdown(false) }
+
+// Done is closed when the protocol loop has exited.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+func (p *Process) shutdown(farewell bool) {
+	p.once.Do(func() {
+		if farewell {
+			// Farewell is sent from here (not the loop) so that Leave
+			// works even if the loop is wedged; the packet is idempotent.
+			p.ep.Broadcast(pktHeartbeat{Group: p.opts.Group, From: p.pid, Left: true})
+		}
+		close(p.stop)
+	})
+	<-p.done
+}
+
+func (p *Process) submit(r request) error {
+	r.reply = make(chan error, 1)
+	select {
+	case p.reqs <- r:
+	case <-p.done:
+		return ErrStopped
+	}
+	select {
+	case err := <-r.reply:
+		return err
+	case <-p.done:
+		return ErrStopped
+	}
+}
+
+func (p *Process) pumpEvents() {
+	for {
+		ev, ok := p.events.Pop()
+		if !ok {
+			close(p.evch)
+			return
+		}
+		p.evch <- ev
+	}
+}
+
+// setCur publishes a snapshot of the current view.
+func (p *Process) setCur(v EView) {
+	p.mu.Lock()
+	p.cur = v
+	p.mu.Unlock()
+}
+
+func (p *Process) bumpStat(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// run is the protocol event loop; all of p.m is confined to it.
+func (p *Process) run() {
+	defer func() {
+		p.ep.Detach()
+		p.events.Close()
+		close(p.done)
+	}()
+	hb := time.NewTicker(p.opts.HeartbeatEvery)
+	defer hb.Stop()
+	tick := time.NewTicker(p.opts.Tick)
+	defer tick.Stop()
+
+	p.m.sendHeartbeat()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-hb.C:
+			p.m.sendHeartbeat()
+		case <-tick.C:
+			p.m.onTick(time.Now())
+		case <-p.ep.Wait():
+			for {
+				msg, ok := p.ep.TryRecv()
+				if !ok {
+					break
+				}
+				p.m.onPacket(msg, time.Now())
+			}
+			if p.ep.Closed() {
+				return
+			}
+		case r := <-p.reqs:
+			p.m.onRequest(r)
+		}
+	}
+}
+
+// machine holds all protocol state. Only the run goroutine touches it
+// after Start.
+type machine struct {
+	p   *Process
+	det *fd.Detector
+
+	view EView
+	comp ids.PIDSet
+	// delivered holds the *bodies* of messages delivered in the current
+	// view, for flush retransmission; stability pruning shrinks it.
+	delivered map[ids.MsgID]pktData
+	// deliveredIDs remembers every message delivered in the current
+	// view, surviving stability pruning, so a flush from a peer that
+	// pruned later never re-delivers (P2.3).
+	deliveredIDs map[ids.MsgID]struct{}
+	seen         map[ids.MsgID]struct{}
+	causal       *clock.CausalBuffer[causalPkt]
+	vc           clock.Vector
+	echApplied   uint32
+	nextSeq      uint64
+
+	blocked   bool
+	ackedProp ids.ViewID
+	outbox    [][]byte
+	future    map[ids.ViewID][]causalPkt
+
+	maxEpoch      uint64
+	peerView      map[ids.PID]ids.ViewID
+	peerVC        map[ids.PID]clock.Vector
+	tombstones    map[ids.PID]time.Time
+	mismatch      int
+	pendingMerges []pktMergeReq
+
+	coord *coordState
+}
+
+type coordState struct {
+	prop     ids.ViewID
+	comp     ids.PIDSet
+	acks     map[ids.PID]pktAck
+	deadline time.Time
+}
+
+func (m *machine) init(p *Process) {
+	m.p = p
+	m.det = fd.New(p.opts.SuspectAfter)
+	m.delivered = make(map[ids.MsgID]pktData)
+	m.deliveredIDs = make(map[ids.MsgID]struct{})
+	m.seen = make(map[ids.MsgID]struct{})
+	m.causal = clock.NewCausalBuffer[causalPkt]()
+	m.vc = clock.NewVector()
+	m.future = make(map[ids.ViewID][]causalPkt)
+	m.peerView = make(map[ids.PID]ids.ViewID)
+	m.peerVC = make(map[ids.PID]clock.Vector)
+	m.tombstones = make(map[ids.PID]time.Time)
+}
+
+func (m *machine) loadEpoch() uint64 {
+	if raw, ok := m.p.store.Get(keyEpoch); ok && len(raw) == 8 {
+		return binary.BigEndian.Uint64(raw)
+	}
+	return 0
+}
+
+func (m *machine) storeEpoch(e uint64) {
+	if e <= m.maxEpoch {
+		return
+	}
+	m.maxEpoch = e
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], e)
+	m.p.store.Put(keyEpoch, buf[:])
+}
+
+// installBootstrap installs the singleton view during Start (before the
+// loop goroutine exists).
+func (m *machine) installBootstrap(v EView) {
+	m.view = v
+	m.comp = v.Comp()
+	m.persistView(v)
+	m.p.setCur(v)
+	m.p.bumpStat(func(s *Stats) { s.ViewsInstalled++ })
+	ev := ViewEvent{EView: v}
+	m.p.obs.OnView(m.p.pid, ev)
+	m.p.events.Push(ev)
+}
+
+func (m *machine) persistView(v EView) {
+	if !m.p.opts.LogViews {
+		return
+	}
+	m.p.store.AppendView(stable.ViewRecord{
+		View:      v.ID,
+		Members:   v.Members,
+		Installer: m.p.pid,
+	})
+}

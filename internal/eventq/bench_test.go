@@ -1,0 +1,35 @@
+package eventq
+
+import "testing"
+
+// BenchmarkPushPop measures the queue's single-threaded throughput — the
+// path every protocol event takes.
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int]()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if _, ok := q.TryPop(); !ok {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkProducerConsumer measures cross-goroutine handoff.
+func BenchmarkProducerConsumer(b *testing.B) {
+	q := New[int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := q.Pop(); !ok {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+	}
+	q.Close()
+	<-done
+}

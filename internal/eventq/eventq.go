@@ -1,0 +1,133 @@
+// Package eventq provides an unbounded FIFO queue with channel-based
+// notification. The protocol engine uses it to hand events (views, e-view
+// changes, message deliveries) to the application without ever blocking the
+// protocol goroutine on a slow consumer, and to feed its own event loop.
+//
+// A plain Go channel cannot serve here: any finite capacity lets a stalled
+// application back-pressure the membership protocol, which must keep
+// processing failure-detector and network events to stay live.
+package eventq
+
+import "sync"
+
+// Queue is an unbounded FIFO of values of type T. The zero value is not
+// usable; construct with New. A Queue is safe for concurrent use by
+// multiple producers and consumers.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	items  []T
+	closed bool
+	// notify has capacity 1 and carries "the queue may be non-empty or
+	// closed" edge signals to blocked consumers.
+	notify chan struct{}
+}
+
+// New returns an empty open queue.
+func New[T any]() *Queue[T] {
+	return &Queue[T]{notify: make(chan struct{}, 1)}
+}
+
+// Push appends v to the queue. Pushing to a closed queue is a no-op and
+// returns false.
+func (q *Queue[T]) Push(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.wake()
+	return true
+}
+
+// TryPop removes and returns the head of the queue. The second result is
+// false if the queue was empty.
+func (q *Queue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero // release for GC
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks until a value is available or the queue is closed and
+// drained. The second result is false only in the closed-and-drained case.
+func (q *Queue[T]) Pop() (T, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			v := q.items[0]
+			var zero T
+			q.items[0] = zero
+			q.items = q.items[1:]
+			more := len(q.items) > 0
+			q.mu.Unlock()
+			if more {
+				// Pass the wakeup along so that a second blocked
+				// consumer is not stranded when two pushes collapsed
+				// into one notify token.
+				q.wake()
+			}
+			return v, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			q.wake() // propagate close to other blocked consumers
+			var zero T
+			return zero, false
+		}
+		q.mu.Unlock()
+		<-q.notify
+	}
+}
+
+// Wait returns a channel that receives a signal when the queue may have
+// become non-empty or closed. Consumers that multiplex several queues with
+// select use Wait + TryPop. A signal is a hint, not a guarantee: always
+// re-check with TryPop.
+func (q *Queue[T]) Wait() <-chan struct{} { return q.notify }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed. Queued items remain poppable; Pop returns
+// false once the queue is drained. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.wake()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Drain removes and returns all queued items.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}
+
+func (q *Queue[T]) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}

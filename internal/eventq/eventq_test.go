@@ -1,0 +1,202 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed on open queue", i)
+		}
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestTryPopEmpty(t *testing.T) {
+	q := New[string]()
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop on empty queue returned ok")
+	}
+	q.Push("x")
+	if v, ok := q.TryPop(); !ok || v != "x" {
+		t.Errorf("TryPop = %q,%v", v, ok)
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := New[int]()
+	done := make(chan int, 1)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("Pop returned %d before any Push", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Push(7)
+	select {
+	case v := <-done:
+		if v != 7 {
+			t.Fatalf("Pop = %d, want 7", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop did not wake after Push")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := New[int]()
+	q.Push(1)
+	q.Close()
+	q.Close() // idempotent
+	if q.Push(2) {
+		t.Error("Push succeeded on closed queue")
+	}
+	if !q.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Errorf("Pop after close = %d,%v; want 1,true (drain remaining)", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on closed drained queue returned ok")
+	}
+}
+
+func TestCloseWakesBlockedPop(t *testing.T) {
+	q := New[int]()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Pop returned ok=true from closed empty queue")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake blocked Pop")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	got := q.Drain()
+	if len(got) != 5 || q.Len() != 0 {
+		t.Fatalf("Drain returned %v, Len=%d", got, q.Len())
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Drain[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWaitSignalsOnPush(t *testing.T) {
+	q := New[int]()
+	select {
+	case <-q.Wait():
+		t.Fatal("Wait fired on empty queue")
+	default:
+	}
+	q.Push(1)
+	select {
+	case <-q.Wait():
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not fire after Push")
+	}
+	if v, ok := q.TryPop(); !ok || v != 1 {
+		t.Fatalf("TryPop = %d,%v", v, ok)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const producers, perProducer, consumers = 8, 500, 4
+	q := New[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make([]int, 0, producers*perProducer)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen = append(seen, v)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", len(seen), producers*perProducer)
+	}
+	sort.Ints(seen)
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("missing or duplicated item: seen[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestFIFOProperty(t *testing.T) {
+	// Property: single producer, single consumer -> exact order preserved.
+	f := func(vals []int32) bool {
+		q := New[int32]()
+		for _, v := range vals {
+			q.Push(v)
+		}
+		q.Close()
+		for _, want := range vals {
+			got, ok := q.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(3)), MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

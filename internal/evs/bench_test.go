@@ -1,0 +1,90 @@
+package evs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func benchMembers(n int) []ids.PID {
+	out := make([]ids.PID, n)
+	for i := range out {
+		out[i] = ids.PID{Site: fmt.Sprintf("s%03d", i), Inc: 1}
+	}
+	return out
+}
+
+// BenchmarkCompose measures structure composition at view installs — the
+// per-view-change cost the enriched extension adds to the run-time.
+func BenchmarkCompose(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			members := benchMembers(n)
+			comp := ids.NewPIDSet(members...)
+			left := Flat(ids.ViewID{Epoch: 1, Coord: members[0]}, ids.NewPIDSet(members[:n/2]...))
+			right := Flat(ids.ViewID{Epoch: 1, Coord: members[n/2]}, ids.NewPIDSet(members[n/2:]...))
+			preds := []Predecessor{
+				{Structure: left, Survivors: ids.NewPIDSet(members[:n/2]...)},
+				{Structure: right, Survivors: ids.NewPIDSet(members[n/2:]...)},
+			}
+			view := ids.ViewID{Epoch: 2, Coord: members[0]}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := Compose(view, comp, preds)
+				if s.NumSubviews() != 2 {
+					b.Fatal("wrong composition")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeSubviews measures the within-view merge operation.
+func BenchmarkMergeSubviews(b *testing.B) {
+	members := benchMembers(16)
+	comp := ids.NewPIDSet(members...)
+	view := ids.ViewID{Epoch: 1, Coord: members[0]}
+	base := Compose(view, comp, nil) // 16 singletons
+	base, _, err := base.MergeSVSets(base.SVSets())
+	if err != nil {
+		b.Fatal(err)
+	}
+	svs := base.Subviews()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := base.MergeSubviews(svs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidate measures the invariant check run by the verifier on
+// every delivered structure.
+func BenchmarkValidate(b *testing.B) {
+	members := benchMembers(64)
+	comp := ids.NewPIDSet(members...)
+	s := Compose(ids.ViewID{Epoch: 1, Coord: members[0]}, comp, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubviewOf measures the member-to-subview lookup used by mode
+// functions on every view change.
+func BenchmarkSubviewOf(b *testing.B) {
+	members := benchMembers(64)
+	comp := ids.NewPIDSet(members...)
+	s := Flat(ids.ViewID{Epoch: 1, Coord: members[0]}, comp)
+	target := members[63]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SubviewOf(target); !ok {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -1,0 +1,435 @@
+// Package evs implements the structural algebra of enriched view
+// synchrony (Section 6 of the paper): subviews and subview-sets (sv-sets)
+// living inside a view.
+//
+// The invariants, straight from §6.1:
+//
+//   - subviews partition the view: along any cut, each process belongs to
+//     exactly one subview; subviews do not overlap and do not span view
+//     boundaries;
+//   - each subview belongs to exactly one sv-set;
+//   - within a view, subviews and sv-sets never split; they merge only
+//     under application control (SubviewMerge, SVSetMerge);
+//   - across consecutive views, processes that were in the same subview
+//     (sv-set) remain in the same subview (sv-set) — Property 6.3 — while
+//     failures may shrink compositions at arbitrary times;
+//   - a newly joined or recovered process appears as a singleton subview
+//     inside a singleton sv-set; admission into an existing subview
+//     happens only when the application asks.
+//
+// The package is pure data manipulation: no goroutines, no I/O. The
+// protocol engine (internal/core) drives it — the coordinator composes
+// structures at view installs and sequences merge operations within a
+// view.
+package evs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+)
+
+// Structure is the subview / sv-set decomposition of one view. The zero
+// value is an empty structure for the zero view; build real ones with
+// NewSingleton, Compose, and the merge operations. Structures are treated
+// as immutable: every operation returns a new Structure.
+type Structure struct {
+	// View is the view this structure decomposes.
+	View ids.ViewID
+	// subviews maps each subview to its member set.
+	subviews map[ids.SubviewID]ids.PIDSet
+	// svsetOf maps each subview to its owning sv-set.
+	svsetOf map[ids.SubviewID]ids.SVSetID
+	// nextSv and nextSs allocate fresh identifier sequence numbers for
+	// subviews/sv-sets created in this view.
+	nextSv, nextSs uint32
+}
+
+// NewSingleton returns the structure of a freshly bootstrapped singleton
+// view: one process, alone in a new subview, alone in a new sv-set.
+func NewSingleton(view ids.ViewID, self ids.PID) Structure {
+	s := Structure{
+		View:     view,
+		subviews: make(map[ids.SubviewID]ids.PIDSet, 1),
+		svsetOf:  make(map[ids.SubviewID]ids.SVSetID, 1),
+		nextSv:   2,
+		nextSs:   2,
+	}
+	sv := ids.SubviewID{Origin: view, Seq: 1}
+	ss := ids.SVSetID{Origin: view, Seq: 1}
+	s.subviews[sv] = ids.NewPIDSet(self)
+	s.svsetOf[sv] = ss
+	return s
+}
+
+// clone returns a deep copy of s.
+func (s Structure) clone() Structure {
+	c := Structure{
+		View:     s.View,
+		subviews: make(map[ids.SubviewID]ids.PIDSet, len(s.subviews)),
+		svsetOf:  make(map[ids.SubviewID]ids.SVSetID, len(s.svsetOf)),
+		nextSv:   s.nextSv,
+		nextSs:   s.nextSs,
+	}
+	for sv, members := range s.subviews {
+		c.subviews[sv] = members.Clone()
+	}
+	for sv, ss := range s.svsetOf {
+		c.svsetOf[sv] = ss
+	}
+	return c
+}
+
+// Members returns the union of all subview members (== the view
+// composition when invariants hold).
+func (s Structure) Members() ids.PIDSet {
+	all := make(ids.PIDSet)
+	for _, members := range s.subviews {
+		for p := range members {
+			all.Add(p)
+		}
+	}
+	return all
+}
+
+// Subviews returns the subview identifiers in sorted order.
+func (s Structure) Subviews() []ids.SubviewID {
+	out := make([]ids.SubviewID, 0, len(s.subviews))
+	for sv := range s.subviews {
+		out = append(out, sv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// SubviewMembers returns a copy of the member set of sv (nil if unknown).
+func (s Structure) SubviewMembers(sv ids.SubviewID) ids.PIDSet {
+	m, ok := s.subviews[sv]
+	if !ok {
+		return nil
+	}
+	return m.Clone()
+}
+
+// SubviewOf returns the subview containing p.
+func (s Structure) SubviewOf(p ids.PID) (ids.SubviewID, bool) {
+	for sv, members := range s.subviews {
+		if members.Has(p) {
+			return sv, true
+		}
+	}
+	return ids.SubviewID{}, false
+}
+
+// SVSetOf returns the sv-set owning subview sv.
+func (s Structure) SVSetOf(sv ids.SubviewID) (ids.SVSetID, bool) {
+	ss, ok := s.svsetOf[sv]
+	return ss, ok
+}
+
+// SVSets returns the sv-set identifiers in sorted order.
+func (s Structure) SVSets() []ids.SVSetID {
+	seen := make(map[ids.SVSetID]struct{})
+	var out []ids.SVSetID
+	for _, ss := range s.svsetOf {
+		if _, dup := seen[ss]; !dup {
+			seen[ss] = struct{}{}
+			out = append(out, ss)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// SVSetSubviews returns the subviews belonging to sv-set ss, sorted.
+func (s Structure) SVSetSubviews(ss ids.SVSetID) []ids.SubviewID {
+	var out []ids.SubviewID
+	for sv, owner := range s.svsetOf {
+		if owner == ss {
+			out = append(out, sv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// SVSetMembers returns the union of members of all subviews in ss.
+func (s Structure) SVSetMembers(ss ids.SVSetID) ids.PIDSet {
+	all := make(ids.PIDSet)
+	for sv, owner := range s.svsetOf {
+		if owner == ss {
+			for p := range s.subviews[sv] {
+				all.Add(p)
+			}
+		}
+	}
+	return all
+}
+
+// NumSubviews returns the number of subviews.
+func (s Structure) NumSubviews() int { return len(s.subviews) }
+
+// NumSVSets returns the number of sv-sets.
+func (s Structure) NumSVSets() int { return len(s.SVSets()) }
+
+// Equal reports whether two structures are identical (same view, same
+// subviews with same members, same sv-set assignment).
+func (s Structure) Equal(t Structure) bool {
+	if s.View != t.View || len(s.subviews) != len(t.subviews) {
+		return false
+	}
+	for sv, members := range s.subviews {
+		tm, ok := t.subviews[sv]
+		if !ok || !members.Equal(tm) {
+			return false
+		}
+		if s.svsetOf[sv] != t.svsetOf[sv] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the §6.1 invariants against the given view composition.
+// It returns nil if subviews partition comp exactly and every subview has
+// an owning sv-set.
+func (s Structure) Validate(comp ids.PIDSet) error {
+	seen := make(ids.PIDSet)
+	for sv, members := range s.subviews {
+		if len(members) == 0 {
+			return fmt.Errorf("evs: subview %v is empty", sv)
+		}
+		for p := range members {
+			if seen.Has(p) {
+				return fmt.Errorf("evs: process %v in more than one subview", p)
+			}
+			seen.Add(p)
+			if !comp.Has(p) {
+				return fmt.Errorf("evs: process %v in subview %v but not in view", p, sv)
+			}
+		}
+		if _, ok := s.svsetOf[sv]; !ok {
+			return fmt.Errorf("evs: subview %v has no sv-set", sv)
+		}
+	}
+	if !seen.Equal(comp) {
+		return fmt.Errorf("evs: subviews cover %v, view is %v", seen, comp)
+	}
+	return nil
+}
+
+// errNoEffect distinguishes the specified no-op case of SubviewMerge.
+var errNoEffect = errors.New("evs: merge has no effect")
+
+// IsNoEffect reports whether err is the "call has no effect" condition
+// from §6.1 (SubviewMerge across different sv-sets).
+func IsNoEffect(err error) bool { return errors.Is(err, errNoEffect) }
+
+// MergeSubviews creates a new subview that is the union of the given
+// subviews, as §6.1's SubviewMerge. All inputs must currently belong to
+// the same sv-set; otherwise the call has no effect and an error for
+// which IsNoEffect holds is returned. The new subview stays in that
+// sv-set. Unknown subview ids are an error.
+func (s Structure) MergeSubviews(svs []ids.SubviewID) (Structure, ids.SubviewID, error) {
+	if len(svs) < 2 {
+		return s, ids.SubviewID{}, fmt.Errorf("evs: MergeSubviews needs >= 2 subviews, got %d", len(svs))
+	}
+	var owner ids.SVSetID
+	for i, sv := range svs {
+		ss, ok := s.svsetOf[sv]
+		if !ok {
+			return s, ids.SubviewID{}, fmt.Errorf("evs: unknown subview %v", sv)
+		}
+		if i == 0 {
+			owner = ss
+		} else if ss != owner {
+			return s, ids.SubviewID{}, fmt.Errorf("%w: subviews %v and %v in different sv-sets", errNoEffect, svs[0], sv)
+		}
+	}
+	c := s.clone()
+	union := make(ids.PIDSet)
+	for _, sv := range dedupSubviews(svs) {
+		for p := range c.subviews[sv] {
+			union.Add(p)
+		}
+		delete(c.subviews, sv)
+		delete(c.svsetOf, sv)
+	}
+	newSv := ids.SubviewID{Origin: c.View, Seq: c.nextSv}
+	c.nextSv++
+	c.subviews[newSv] = union
+	c.svsetOf[newSv] = owner
+	return c, newSv, nil
+}
+
+// MergeSVSets creates a new sv-set that is the union of the given
+// sv-sets, as §6.1's SV-SetMerge. Unknown sv-set ids are an error.
+func (s Structure) MergeSVSets(sss []ids.SVSetID) (Structure, ids.SVSetID, error) {
+	if len(sss) < 2 {
+		return s, ids.SVSetID{}, fmt.Errorf("evs: MergeSVSets needs >= 2 sv-sets, got %d", len(sss))
+	}
+	existing := make(map[ids.SVSetID]struct{})
+	for _, ss := range s.svsetOf {
+		existing[ss] = struct{}{}
+	}
+	for _, ss := range sss {
+		if _, ok := existing[ss]; !ok {
+			return s, ids.SVSetID{}, fmt.Errorf("evs: unknown sv-set %v", ss)
+		}
+	}
+	merged := make(map[ids.SVSetID]struct{}, len(sss))
+	for _, ss := range sss {
+		merged[ss] = struct{}{}
+	}
+	c := s.clone()
+	newSs := ids.SVSetID{Origin: c.View, Seq: c.nextSs}
+	c.nextSs++
+	for sv, owner := range c.svsetOf {
+		if _, in := merged[owner]; in {
+			c.svsetOf[sv] = newSs
+		}
+	}
+	return c, newSs, nil
+}
+
+// RemoveDeparted shrinks the structure to the given survivor set, the
+// failure-driven shrinking of §6.1: departed processes leave their
+// subviews; emptied subviews (and thereby sv-sets) vanish. Identifiers of
+// surviving subviews are preserved.
+func (s Structure) RemoveDeparted(survivors ids.PIDSet) Structure {
+	c := s.clone()
+	for sv, members := range c.subviews {
+		kept := members.Intersect(survivors)
+		if len(kept) == 0 {
+			delete(c.subviews, sv)
+			delete(c.svsetOf, sv)
+			continue
+		}
+		c.subviews[sv] = kept
+	}
+	return c
+}
+
+// Predecessor describes one predecessor view's contribution to a newly
+// installed view: its structure and the subset of its processes that
+// survive into the new view.
+type Predecessor struct {
+	Structure Structure
+	Survivors ids.PIDSet
+}
+
+// Compose builds the structure of a newly installed view (Property 6.3):
+// each predecessor's structure is restricted to its survivors, keeping
+// the *grouping* — co-subview (co-sv-set) survivors of one predecessor
+// remain co-subview (co-sv-set); every process of comp not covered by any
+// predecessor is a fresh arrival and becomes a singleton subview in a
+// singleton sv-set.
+//
+// Every subview and sv-set receives a fresh identifier in the new view.
+// Identifiers cannot be carried over: two concurrent predecessor views
+// may each hold a restriction of the same pre-partition subview (the
+// partition split it), and those restrictions must remain *distinct*
+// subviews after the merge — the structure grows only under application
+// control (§6.1), so only an explicit SubviewMerge may reunite them.
+//
+// Predecessors must be disjoint (they come from distinct concurrent
+// views; a process has one predecessor view). Compose panics on overlap,
+// which would indicate a protocol bug upstream. The output is
+// deterministic in the order of preds; the membership layer sorts them
+// by predecessor view id.
+func Compose(view ids.ViewID, comp ids.PIDSet, preds []Predecessor) Structure {
+	out := Structure{
+		View:     view,
+		subviews: make(map[ids.SubviewID]ids.PIDSet),
+		svsetOf:  make(map[ids.SubviewID]ids.SVSetID),
+		nextSv:   1,
+		nextSs:   1,
+	}
+	covered := make(ids.PIDSet)
+	for _, pred := range preds {
+		keep := pred.Survivors.Intersect(comp)
+		restricted := pred.Structure.RemoveDeparted(keep)
+		// Fresh sv-set ids, one per surviving sv-set of this predecessor.
+		ssMap := make(map[ids.SVSetID]ids.SVSetID)
+		for _, sv := range restricted.Subviews() { // sorted: deterministic ids
+			members := restricted.subviews[sv]
+			for p := range members {
+				if covered.Has(p) {
+					panic(fmt.Sprintf("evs: predecessors overlap at %v", p))
+				}
+				covered.Add(p)
+			}
+			oldSs := restricted.svsetOf[sv]
+			newSs, ok := ssMap[oldSs]
+			if !ok {
+				newSs = ids.SVSetID{Origin: view, Seq: out.nextSs}
+				out.nextSs++
+				ssMap[oldSs] = newSs
+			}
+			newSv := ids.SubviewID{Origin: view, Seq: out.nextSv}
+			out.nextSv++
+			out.subviews[newSv] = members
+			out.svsetOf[newSv] = newSs
+		}
+	}
+	for _, p := range comp.Diff(covered).Sorted() {
+		sv := ids.SubviewID{Origin: view, Seq: out.nextSv}
+		ss := ids.SVSetID{Origin: view, Seq: out.nextSs}
+		out.nextSv++
+		out.nextSs++
+		out.subviews[sv] = ids.NewPIDSet(p)
+		out.svsetOf[sv] = ss
+	}
+	return out
+}
+
+// Flat returns the degenerate structure for the given view: a single
+// sv-set containing a single subview containing all processes — the case
+// that, per §6.1, reduces enriched views to the traditional view
+// abstraction. Used by the flat-view baseline.
+func Flat(view ids.ViewID, comp ids.PIDSet) Structure {
+	s := Structure{
+		View:     view,
+		subviews: make(map[ids.SubviewID]ids.PIDSet, 1),
+		svsetOf:  make(map[ids.SubviewID]ids.SVSetID, 1),
+		nextSv:   2,
+		nextSs:   2,
+	}
+	sv := ids.SubviewID{Origin: view, Seq: 1}
+	s.subviews[sv] = comp.Clone()
+	s.svsetOf[sv] = ids.SVSetID{Origin: view, Seq: 1}
+	return s
+}
+
+// String renders the structure deterministically, e.g.
+// "view v3@a#1: ss1/v1@a#1{sv1/v1@a#1{a#1, b#1}} ss1/v2@c#1{sv1/v2@c#1{c#1}}".
+func (s Structure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "view %v:", s.View)
+	for _, ss := range s.SVSets() {
+		fmt.Fprintf(&b, " %v(", ss)
+		for i, sv := range s.SVSetSubviews(ss) {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%v%v", sv, s.subviews[sv])
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func dedupSubviews(svs []ids.SubviewID) []ids.SubviewID {
+	seen := make(map[ids.SubviewID]struct{}, len(svs))
+	out := svs[:0:0]
+	for _, sv := range svs {
+		if _, dup := seen[sv]; !dup {
+			seen[sv] = struct{}{}
+			out = append(out, sv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,525 @@
+package evs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+var (
+	pa = ids.PID{Site: "a", Inc: 1}
+	pb = ids.PID{Site: "b", Inc: 1}
+	pc = ids.PID{Site: "c", Inc: 1}
+	pd = ids.PID{Site: "d", Inc: 1}
+	pe = ids.PID{Site: "e", Inc: 1}
+)
+
+func vid(epoch uint64, coord ids.PID) ids.ViewID { return ids.ViewID{Epoch: epoch, Coord: coord} }
+
+func TestNewSingleton(t *testing.T) {
+	v := vid(1, pa)
+	s := NewSingleton(v, pa)
+	if err := s.Validate(ids.NewPIDSet(pa)); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NumSubviews() != 1 || s.NumSVSets() != 1 {
+		t.Fatalf("singleton has %d subviews, %d sv-sets", s.NumSubviews(), s.NumSVSets())
+	}
+	sv, ok := s.SubviewOf(pa)
+	if !ok {
+		t.Fatal("SubviewOf(self) not found")
+	}
+	if got := s.SubviewMembers(sv); !got.Equal(ids.NewPIDSet(pa)) {
+		t.Fatalf("subview members = %v", got)
+	}
+}
+
+func TestFlatDegeneratesToTraditionalView(t *testing.T) {
+	v := vid(1, pa)
+	comp := ids.NewPIDSet(pa, pb, pc)
+	s := Flat(v, comp)
+	if err := s.Validate(comp); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NumSubviews() != 1 || s.NumSVSets() != 1 {
+		t.Fatal("flat structure must be single subview in single sv-set")
+	}
+	if !s.Members().Equal(comp) {
+		t.Fatalf("Members = %v", s.Members())
+	}
+}
+
+// threeSingletons builds a view of a, b, c each in its own subview/sv-set,
+// as after three concurrent joiners compose.
+func threeSingletons(t *testing.T) Structure {
+	t.Helper()
+	v := vid(2, pa)
+	comp := ids.NewPIDSet(pa, pb, pc)
+	s := Compose(v, comp, nil)
+	if err := s.Validate(comp); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NumSubviews() != 3 || s.NumSVSets() != 3 {
+		t.Fatalf("want 3 singleton subviews/sv-sets, got %d/%d", s.NumSubviews(), s.NumSVSets())
+	}
+	return s
+}
+
+func TestMergeSVSetsThenSubviews(t *testing.T) {
+	// Reproduces Figure 3: SV-SetMerge of three sv-sets, then
+	// SubviewMerge of two of the subviews inside the new sv-set.
+	s := threeSingletons(t)
+	comp := s.Members()
+
+	s2, newSs, err := s.MergeSVSets(s.SVSets())
+	if err != nil {
+		t.Fatalf("MergeSVSets: %v", err)
+	}
+	if err := s2.Validate(comp); err != nil {
+		t.Fatalf("Validate after SV-SetMerge: %v", err)
+	}
+	if s2.NumSVSets() != 1 || s2.NumSubviews() != 3 {
+		t.Fatalf("after SV-SetMerge: %d sv-sets, %d subviews", s2.NumSVSets(), s2.NumSubviews())
+	}
+	if got := s2.SVSetMembers(newSs); !got.Equal(comp) {
+		t.Fatalf("merged sv-set members = %v", got)
+	}
+
+	svA, _ := s2.SubviewOf(pa)
+	svB, _ := s2.SubviewOf(pb)
+	s3, newSv, err := s2.MergeSubviews([]ids.SubviewID{svA, svB})
+	if err != nil {
+		t.Fatalf("MergeSubviews: %v", err)
+	}
+	if err := s3.Validate(comp); err != nil {
+		t.Fatalf("Validate after SubviewMerge: %v", err)
+	}
+	if s3.NumSubviews() != 2 {
+		t.Fatalf("after SubviewMerge: %d subviews", s3.NumSubviews())
+	}
+	if got := s3.SubviewMembers(newSv); !got.Equal(ids.NewPIDSet(pa, pb)) {
+		t.Fatalf("merged subview members = %v", got)
+	}
+	owner, _ := s3.SVSetOf(newSv)
+	if owner != newSs {
+		t.Fatalf("merged subview in sv-set %v, want %v", owner, newSs)
+	}
+	// the original structure is unchanged (immutability)
+	if s.NumSVSets() != 3 {
+		t.Fatal("MergeSVSets mutated its receiver")
+	}
+}
+
+func TestSubviewMergeAcrossSVSetsHasNoEffect(t *testing.T) {
+	// §6.1: "If all the subviews in sv-list do not initially belong to
+	// the same sv-set, the call has no effect."
+	s := threeSingletons(t)
+	svA, _ := s.SubviewOf(pa)
+	svB, _ := s.SubviewOf(pb)
+	s2, _, err := s.MergeSubviews([]ids.SubviewID{svA, svB})
+	if err == nil || !IsNoEffect(err) {
+		t.Fatalf("err = %v, want no-effect error", err)
+	}
+	if !s2.Equal(s) {
+		t.Fatal("no-effect merge changed the structure")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	s := threeSingletons(t)
+	svA, _ := s.SubviewOf(pa)
+	if _, _, err := s.MergeSubviews([]ids.SubviewID{svA}); err == nil {
+		t.Error("single-subview merge must error")
+	}
+	bogusSv := ids.SubviewID{Origin: vid(9, pa), Seq: 7}
+	if _, _, err := s.MergeSubviews([]ids.SubviewID{svA, bogusSv}); err == nil || IsNoEffect(err) {
+		t.Errorf("unknown subview: err = %v, want hard error", err)
+	}
+	ssList := s.SVSets()
+	if _, _, err := s.MergeSVSets(ssList[:1]); err == nil {
+		t.Error("single-sv-set merge must error")
+	}
+	bogusSs := ids.SVSetID{Origin: vid(9, pa), Seq: 7}
+	if _, _, err := s.MergeSVSets([]ids.SVSetID{ssList[0], bogusSs}); err == nil {
+		t.Error("unknown sv-set must error")
+	}
+}
+
+func TestMergeSubviewsDedupsInput(t *testing.T) {
+	s := threeSingletons(t)
+	all := s.SVSets()
+	s2, _, err := s.MergeSVSets(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svA, _ := s2.SubviewOf(pa)
+	svB, _ := s2.SubviewOf(pb)
+	s3, newSv, err := s2.MergeSubviews([]ids.SubviewID{svA, svB, svA})
+	if err != nil {
+		t.Fatalf("MergeSubviews with duplicate input: %v", err)
+	}
+	if got := s3.SubviewMembers(newSv); !got.Equal(ids.NewPIDSet(pa, pb)) {
+		t.Fatalf("members = %v", got)
+	}
+}
+
+func TestRemoveDeparted(t *testing.T) {
+	s := threeSingletons(t)
+	s2, _, err := s.MergeSVSets(s.SVSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svA, _ := s2.SubviewOf(pa)
+	svB, _ := s2.SubviewOf(pb)
+	s3, mergedSv, err := s2.MergeSubviews([]ids.SubviewID{svA, svB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b and c fail; a remains in the merged subview (same id), c's
+	// subview disappears.
+	s4 := s3.RemoveDeparted(ids.NewPIDSet(pa))
+	if err := s4.Validate(ids.NewPIDSet(pa)); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s4.NumSubviews() != 1 {
+		t.Fatalf("subviews = %d", s4.NumSubviews())
+	}
+	sv, _ := s4.SubviewOf(pa)
+	if sv != mergedSv {
+		t.Fatalf("surviving subview id changed: %v -> %v", mergedSv, sv)
+	}
+}
+
+func TestComposePreservesStructureAcrossViewChange(t *testing.T) {
+	// Figure 2 scenario: predecessor view {a,b,c} with a,b co-subview;
+	// new view adds d (fresh) and keeps a,b; c departs.
+	v1 := vid(2, pa)
+	comp1 := ids.NewPIDSet(pa, pb, pc)
+	s1 := Compose(v1, comp1, nil)
+	s1, _, err := s1.MergeSVSets(s1.SVSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svA, _ := s1.SubviewOf(pa)
+	svB, _ := s1.SubviewOf(pb)
+	s1, abSv, err := s1.MergeSubviews([]ids.SubviewID{svA, svB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := vid(3, pa)
+	comp2 := ids.NewPIDSet(pa, pb, pd)
+	s2 := Compose(v2, comp2, []Predecessor{{Structure: s1, Survivors: ids.NewPIDSet(pa, pb)}})
+	if err := s2.Validate(comp2); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	_ = abSv
+	// Property 6.3: a and b still share a subview (identifiers are
+	// view-scoped, so only the grouping carries over).
+	gotA, _ := s2.SubviewOf(pa)
+	gotB, _ := s2.SubviewOf(pb)
+	if gotA != gotB {
+		t.Fatalf("a,b separated after change: %v vs %v", gotA, gotB)
+	}
+	if gotA.Origin != v2 {
+		t.Fatalf("surviving subview id %v not rescoped to new view %v", gotA, v2)
+	}
+	// d is a singleton in its own new sv-set.
+	svD, ok := s2.SubviewOf(pd)
+	if !ok {
+		t.Fatal("d not placed")
+	}
+	if got := s2.SubviewMembers(svD); !got.Equal(ids.NewPIDSet(pd)) {
+		t.Fatalf("d's subview = %v, want singleton", got)
+	}
+	ssD, _ := s2.SVSetOf(svD)
+	ssAB, _ := s2.SVSetOf(abSv)
+	if ssD == ssAB {
+		t.Fatal("fresh joiner must be in its own sv-set")
+	}
+	if svD.Origin != v2 {
+		t.Fatalf("fresh subview origin = %v, want %v", svD.Origin, v2)
+	}
+}
+
+func TestComposeMergesTwoPartitions(t *testing.T) {
+	// Two concurrent views (partitions) merge: each side's structure is
+	// carried over intact, giving the "clusters" the classifier needs.
+	vLeft, vRight := vid(2, pa), vid(2, pc)
+	left := Flat(vLeft, ids.NewPIDSet(pa, pb))
+	right := Flat(vRight, ids.NewPIDSet(pc, pd))
+
+	v3 := vid(3, pa)
+	comp := ids.NewPIDSet(pa, pb, pc, pd, pe) // e is brand new
+	s := Compose(v3, comp, []Predecessor{
+		{Structure: left, Survivors: ids.NewPIDSet(pa, pb)},
+		{Structure: right, Survivors: ids.NewPIDSet(pc, pd)},
+	})
+	if err := s.Validate(comp); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NumSubviews() != 3 || s.NumSVSets() != 3 {
+		t.Fatalf("got %d subviews, %d sv-sets; want 3, 3", s.NumSubviews(), s.NumSVSets())
+	}
+	svA, _ := s.SubviewOf(pa)
+	svB, _ := s.SubviewOf(pb)
+	svC, _ := s.SubviewOf(pc)
+	svE, _ := s.SubviewOf(pe)
+	if svA != svB {
+		t.Fatal("left partition split across subviews")
+	}
+	if svA == svC || svC == svE || svA == svE {
+		t.Fatal("distinct origins must stay distinct subviews")
+	}
+}
+
+func TestComposeKeepsSplitSubviewsDistinct(t *testing.T) {
+	// Regression: a partition splits one subview; both sides carry a
+	// restriction of it (with the same pre-partition identifier). After
+	// the merge the two restrictions must remain distinct subviews —
+	// only an explicit SubviewMerge may reunite them, because the two
+	// sides may have diverged.
+	v1 := vid(1, pa)
+	orig := Flat(v1, ids.NewPIDSet(pa, pb, pc, pd))
+	left := orig.RemoveDeparted(ids.NewPIDSet(pa, pb))
+	right := orig.RemoveDeparted(ids.NewPIDSet(pc, pd))
+
+	v3 := vid(3, pa)
+	comp := ids.NewPIDSet(pa, pb, pc, pd)
+	merged := Compose(v3, comp, []Predecessor{
+		{Structure: left, Survivors: ids.NewPIDSet(pa, pb)},
+		{Structure: right, Survivors: ids.NewPIDSet(pc, pd)},
+	})
+	if err := merged.Validate(comp); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if merged.NumSubviews() != 2 || merged.NumSVSets() != 2 {
+		t.Fatalf("split subview collapsed: %v", merged)
+	}
+	svA, _ := merged.SubviewOf(pa)
+	svB, _ := merged.SubviewOf(pb)
+	svC, _ := merged.SubviewOf(pc)
+	if svA != svB {
+		t.Error("left pair separated")
+	}
+	if svA == svC {
+		t.Error("split halves reunited without application control")
+	}
+}
+
+func TestComposePanicsOnOverlappingPredecessors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose did not panic on overlapping predecessors")
+		}
+	}()
+	v := vid(3, pa)
+	comp := ids.NewPIDSet(pa)
+	p1 := Flat(vid(2, pa), ids.NewPIDSet(pa))
+	p2 := Flat(vid(2, pb), ids.NewPIDSet(pa))
+	Compose(v, comp, []Predecessor{
+		{Structure: p1, Survivors: ids.NewPIDSet(pa)},
+		{Structure: p2, Survivors: ids.NewPIDSet(pa)},
+	})
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	comp := ids.NewPIDSet(pa, pb)
+	s := Flat(vid(1, pa), comp)
+	if err := s.Validate(ids.NewPIDSet(pa)); err == nil {
+		t.Error("subview member outside view not caught")
+	}
+	if err := s.Validate(ids.NewPIDSet(pa, pb, pc)); err == nil {
+		t.Error("uncovered view member not caught")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	comp := ids.NewPIDSet(pa, pb)
+	s1 := Flat(vid(1, pa), comp)
+	s2 := Flat(vid(1, pa), comp)
+	if !s1.Equal(s2) {
+		t.Fatal("identical structures not Equal")
+	}
+	s3 := Flat(vid(2, pa), comp)
+	if s1.Equal(s3) {
+		t.Fatal("different views Equal")
+	}
+	s4 := Compose(vid(1, pa), comp, nil)
+	if s1.Equal(s4) {
+		t.Fatal("different decompositions Equal")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	s := threeSingletons(t)
+	a, b := s.String(), s.String()
+	if a != b || a == "" {
+		t.Fatalf("String not deterministic: %q vs %q", a, b)
+	}
+}
+
+// TestComposePropertyRandomPredecessors is a property test over Compose:
+// for random decompositions of a member set into predecessor views (each
+// with a random internal structure), the composed view (a) validates,
+// (b) preserves co-subview and co-sv-set grouping within each
+// predecessor, (c) never groups processes from different predecessors,
+// and (d) uses only identifiers scoped to the new view.
+func TestComposePropertyRandomPredecessors(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	mkPID := func(i int) ids.PID { return ids.PID{Site: string(rune('a' + i)), Inc: 1} }
+	for trial := 0; trial < 300; trial++ {
+		nMembers := 2 + r.Intn(8)
+		members := make([]ids.PID, nMembers)
+		for i := range members {
+			members[i] = mkPID(i)
+		}
+		// Assign each member to predecessor group 0..k-1, or -1 = fresh.
+		k := 1 + r.Intn(3)
+		groups := make([][]ids.PID, k)
+		var fresh []ids.PID
+		for _, m := range members {
+			g := r.Intn(k+1) - 1
+			if g < 0 {
+				fresh = append(fresh, m)
+			} else {
+				groups[g] = append(groups[g], m)
+			}
+		}
+		var preds []Predecessor
+		origin := make(map[ids.PID]int)
+		for gi, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			gset := ids.NewPIDSet(g...)
+			pv := vid(uint64(10+gi), g[0])
+			st := Compose(pv, gset, nil) // singletons
+			// Randomly merge some structure inside the predecessor.
+			for op := 0; op < r.Intn(4); op++ {
+				if sss := st.SVSets(); len(sss) >= 2 {
+					st, _, _ = st.MergeSVSets(sss[:2])
+				}
+				if svs := st.Subviews(); len(svs) >= 2 {
+					if next, _, err := st.MergeSubviews(svs[:2]); err == nil {
+						st = next
+					}
+				}
+			}
+			preds = append(preds, Predecessor{Structure: st, Survivors: gset})
+			for _, m := range g {
+				origin[m] = gi
+			}
+		}
+		for _, m := range fresh {
+			origin[m] = -1
+		}
+
+		newView := vid(99, members[0])
+		comp := ids.NewPIDSet(members...)
+		out := Compose(newView, comp, preds)
+		if err := out.Validate(comp); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < nMembers; i++ {
+			for j := i + 1; j < nMembers; j++ {
+				x, y := members[i], members[j]
+				svX, _ := out.SubviewOf(x)
+				svY, _ := out.SubviewOf(y)
+				ssX, _ := out.SVSetOf(svX)
+				ssY, _ := out.SVSetOf(svY)
+				if origin[x] != origin[y] || origin[x] == -1 {
+					// different predecessors or fresh: never grouped
+					if svX == svY {
+						t.Fatalf("trial %d: %v and %v grouped across predecessors", trial, x, y)
+					}
+					if ssX == ssY {
+						t.Fatalf("trial %d: %v and %v share sv-set across predecessors", trial, x, y)
+					}
+					continue
+				}
+				// same predecessor: grouping must match the predecessor's
+				pred := preds[indexOfPred(preds, x)]
+				pSvX, _ := pred.Structure.SubviewOf(x)
+				pSvY, _ := pred.Structure.SubviewOf(y)
+				pSsX, _ := pred.Structure.SVSetOf(pSvX)
+				pSsY, _ := pred.Structure.SVSetOf(pSvY)
+				if (pSvX == pSvY) != (svX == svY) {
+					t.Fatalf("trial %d: subview grouping of %v,%v changed across Compose", trial, x, y)
+				}
+				if (pSsX == pSsY) != (ssX == ssY) {
+					t.Fatalf("trial %d: sv-set grouping of %v,%v changed across Compose", trial, x, y)
+				}
+				if svX.Origin != newView || ssX.Origin != newView {
+					t.Fatalf("trial %d: identifiers not rescoped: %v %v", trial, svX, ssX)
+				}
+			}
+		}
+	}
+}
+
+func indexOfPred(preds []Predecessor, p ids.PID) int {
+	for i, pr := range preds {
+		if pr.Survivors.Has(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestRandomOperationSequencesKeepInvariants is a property test: any
+// sequence of legal merges and failure shrinks keeps the §6.1 invariants.
+func TestRandomOperationSequencesKeepInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	people := []ids.PID{pa, pb, pc, pd, pe}
+	for trial := 0; trial < 200; trial++ {
+		comp := ids.NewPIDSet(people...)
+		s := Compose(vid(1, pa), comp, nil)
+		for op := 0; op < 10; op++ {
+			switch r.Intn(3) {
+			case 0: // merge two random sv-sets
+				sss := s.SVSets()
+				if len(sss) < 2 {
+					continue
+				}
+				i, j := r.Intn(len(sss)), r.Intn(len(sss))
+				if i == j {
+					continue
+				}
+				var err error
+				s, _, err = s.MergeSVSets([]ids.SVSetID{sss[i], sss[j]})
+				if err != nil {
+					t.Fatalf("trial %d: MergeSVSets: %v", trial, err)
+				}
+			case 1: // merge two random subviews (may be a no-op)
+				svs := s.Subviews()
+				if len(svs) < 2 {
+					continue
+				}
+				i, j := r.Intn(len(svs)), r.Intn(len(svs))
+				if i == j {
+					continue
+				}
+				next, _, err := s.MergeSubviews([]ids.SubviewID{svs[i], svs[j]})
+				if err != nil && !IsNoEffect(err) {
+					t.Fatalf("trial %d: MergeSubviews: %v", trial, err)
+				}
+				s = next
+			case 2: // a random process departs (but keep at least one)
+				members := s.Members().Sorted()
+				if len(members) <= 1 {
+					continue
+				}
+				victim := members[r.Intn(len(members))]
+				survivors := s.Members()
+				survivors.Remove(victim)
+				s = s.RemoveDeparted(survivors)
+				comp = survivors
+			}
+			if err := s.Validate(comp); err != nil {
+				t.Fatalf("trial %d op %d: invariant violated: %v\n%s", trial, op, err, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package experiments implements the reproduction harness: one function
+// per figure/claim of the paper (see DESIGN.md §3 for the index). Each
+// experiment returns structured rows so that both cmd/vsbench (formatted
+// tables) and the root benchmarks (testing.B) can drive it.
+//
+// The experiments run real protocol stacks over the simulated fabric;
+// they are measurements of this implementation, not of the authors' 1996
+// testbeds — EXPERIMENTS.md records how the shapes compare.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/stable"
+)
+
+// Timing is the protocol timing profile experiments run with.
+type Timing struct {
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	Tick           time.Duration
+	ProposeTimeout time.Duration
+}
+
+// FastTiming is the default simulation-speed profile.
+func FastTiming() Timing {
+	return Timing{
+		HeartbeatEvery: 3 * time.Millisecond,
+		SuspectAfter:   18 * time.Millisecond,
+		Tick:           2 * time.Millisecond,
+		ProposeTimeout: 30 * time.Millisecond,
+	}
+}
+
+func (t Timing) options(group string, enriched bool) core.Options {
+	return core.Options{
+		Group:          group,
+		HeartbeatEvery: t.HeartbeatEvery,
+		SuspectAfter:   t.SuspectAfter,
+		Tick:           t.Tick,
+		ProposeTimeout: t.ProposeTimeout,
+		Enriched:       enriched,
+		LogViews:       true,
+	}
+}
+
+// env is one experiment's world: fabric + storage.
+type env struct {
+	fabric *simnet.Fabric
+	reg    *stable.Registry
+}
+
+func newEnv(seed int64) *env { return newEnvBW(seed, 0) }
+
+// newEnvBW builds an environment whose fabric models receiver-link
+// bandwidth (bytes/sec; 0 = infinite). E3 uses it so that state size has
+// a cost.
+func newEnvBW(seed, bandwidth int64) *env {
+	return &env{
+		fabric: simnet.New(simnet.Config{
+			Delay:     simnet.NewUniformDelay(50*time.Microsecond, 400*time.Microsecond, seed+1),
+			Seed:      seed,
+			Bandwidth: bandwidth,
+		}),
+		reg: stable.NewRegistry(),
+	}
+}
+
+func (e *env) close() { e.fabric.Close() }
+
+// siteName mirrors vstest.SiteName without importing the test package.
+func siteName(i int) string {
+	if i < 26 {
+		return string(rune('a' + i))
+	}
+	return fmt.Sprintf("s%d", i)
+}
+
+// waitConverged blocks until all processes share one view containing
+// exactly them, or the timeout elapses.
+func waitConverged(procs []*core.Process, timeout time.Duration) error {
+	want := make(ids.PIDSet, len(procs))
+	for _, p := range procs {
+		want.Add(p.PID())
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		v0 := procs[0].CurrentView()
+		ok := v0.Comp().Equal(want)
+		if ok {
+			for _, p := range procs[1:] {
+				v := p.CurrentView()
+				if v.ID != v0.ID || !v.Comp().Equal(want) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var state string
+			for _, p := range procs {
+				v := p.CurrentView()
+				state += fmt.Sprintf(" %v:%v%v", p.PID(), v.ID, v.Members)
+			}
+			return fmt.Errorf("experiments: convergence timeout; want %v, state:%s", want, state)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// eventually polls cond until true or timeout.
+func eventually(timeout time.Duration, what string, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("experiments: timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// drain discards a process's events (for experiments that only watch
+// CurrentView).
+func drain(p *core.Process) {
+	go func() {
+		for range p.Events() {
+		}
+	}()
+}

@@ -1,0 +1,11 @@
+package experiments
+
+import "testing"
+
+func TestE1Smoke(t *testing.T) {
+	row, err := RunE1(4, FastTiming(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s\n%s", E1Header, row)
+}

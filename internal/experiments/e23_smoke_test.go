@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/transfer"
+)
+
+func TestE2Smoke(t *testing.T) {
+	row, err := RunE2(5, FastTiming(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s\n%s", E2Header, row)
+	if !row.Agreement {
+		t.Error("classifiers disagree")
+	}
+}
+
+func TestE3Smoke(t *testing.T) {
+	for _, strat := range []transfer.Strategy{transfer.Blocking, transfer.Split} {
+		row, err := RunE3(1<<20, strat, FastTiming(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s\n%s", E3Header, row)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// E5Row is one row of experiment E5: the run-time overhead of enriched
+// views over flat views — the paper claims the extension "requires minor
+// modifications to the view synchrony run-time support and can be
+// implemented efficiently".
+type E5Row struct {
+	N        int
+	Enriched bool
+	// Msgs is the number of application multicasts measured.
+	Msgs int
+	// Throughput is delivered application messages per second at one
+	// member.
+	Throughput float64
+	// DeliveryLatency is the mean multicast-to-last-delivery latency.
+	DeliveryLatency time.Duration
+	// JoinLatency is the time for a fresh member to be absorbed into
+	// the group (view installation at the anchor).
+	JoinLatency time.Duration
+	// BytesPerMsg is mean fabric bytes sent per application multicast
+	// during the measurement window (includes heartbeats).
+	BytesPerMsg float64
+}
+
+// RunE5 measures one (n, enriched) cell.
+func RunE5(n int, enriched bool, timing Timing, seed int64) (E5Row, error) {
+	const msgs = 500
+	row := E5Row{N: n, Enriched: enriched, Msgs: msgs}
+	e := newEnv(seed)
+	defer e.close()
+	opts := timing.options("e5", enriched)
+
+	procs := make([]*core.Process, 0, n)
+	var delivered int64
+	for i := 0; i < n; i++ {
+		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		if err != nil {
+			return row, err
+		}
+		procs = append(procs, p)
+		go func(p *core.Process) {
+			for ev := range p.Events() {
+				if _, ok := ev.(core.MsgEvent); ok {
+					atomic.AddInt64(&delivered, 1)
+				}
+			}
+		}(p)
+	}
+	if err := waitConverged(procs, 15*time.Second); err != nil {
+		return row, err
+	}
+
+	// Throughput: multicast a burst round-robin, wait for every member
+	// to deliver everything. A spurious view change can split delivery
+	// paths so that a straggler legitimately misses part of the burst
+	// (Agreement binds only co-transitioning members); measure what was
+	// actually delivered once progress stops.
+	e.fabric.ResetStats()
+	atomic.StoreInt64(&delivered, 0)
+	payload := make([]byte, 128)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		if err := procs[i%n].Multicast(payload); err != nil {
+			return row, fmt.Errorf("multicast %d: %w", i, err)
+		}
+	}
+	want := int64(msgs * n)
+	last := int64(0)
+	lastProgress := time.Now()
+	elapsed := time.Duration(0)
+	for {
+		got := atomic.LoadInt64(&delivered)
+		if got >= want {
+			elapsed = time.Since(start)
+			break
+		}
+		if got > last {
+			last, lastProgress = got, time.Now()
+		}
+		if time.Since(lastProgress) > 2*time.Second {
+			elapsed = lastProgress.Sub(start) // exclude the stagnation wait
+			break
+		}
+		if time.Since(start) > 30*time.Second {
+			return row, fmt.Errorf("burst delivery stalled at %d/%d", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deliveredMsgs := float64(atomic.LoadInt64(&delivered)) / float64(n)
+	row.Throughput = deliveredMsgs / elapsed.Seconds()
+	row.DeliveryLatency = time.Duration(float64(elapsed) / deliveredMsgs)
+	fs := e.fabric.Stats()
+	row.BytesPerMsg = float64(fs.BytesSent) / float64(msgs)
+
+	// Join latency: one fresh member.
+	joinStart := time.Now()
+	j, err := core.Start(e.fabric, e.reg, "late", opts)
+	if err != nil {
+		return row, err
+	}
+	drain(j)
+	all := append(append([]*core.Process{}, procs...), j)
+	if err := waitConverged(all, 15*time.Second); err != nil {
+		return row, err
+	}
+	row.JoinLatency = time.Since(joinStart)
+	for _, p := range all {
+		p.Leave()
+	}
+	return row, nil
+}
+
+// E5Header is the column header line for E5 tables.
+const E5Header = "n | enriched | msgs/s | mean delivery | join latency | fabric bytes/msg"
+
+// String renders the row under E5Header.
+func (r E5Row) String() string {
+	return fmt.Sprintf("%2d | %8v | %6.0f | %13v | %12v | %16.0f",
+		r.N, r.Enriched, r.Throughput,
+		r.DeliveryLatency.Round(time.Microsecond),
+		r.JoinLatency.Round(time.Millisecond), r.BytesPerMsg)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE4Smoke(t *testing.T) {
+	rows, err := RunE4(FastTiming(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%s", r)
+		if r.Detected != r.Expected {
+			t.Errorf("%s: detected %v, expected %v", r.Scenario, r.Detected, r.Expected)
+		}
+	}
+}
+
+func TestE5Smoke(t *testing.T) {
+	for _, enr := range []bool{false, true} {
+		row, err := RunE5(4, enr, FastTiming(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s\n%s", E5Header, row)
+	}
+}
+
+func TestF1Smoke(t *testing.T) {
+	rows, err := RunF1(FastTiming(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(F1Header)
+	for _, r := range rows {
+		t.Logf("%s", r)
+		if r.IllegalSteps != 0 {
+			t.Errorf("site %s took %d illegal steps", r.Site, r.IllegalSteps)
+		}
+	}
+}
+
+func TestF2Smoke(t *testing.T) {
+	rows, violations, err := RunF2(FastTiming(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(F2Header)
+	for _, r := range rows {
+		t.Logf("%s", r)
+	}
+	if violations != 0 {
+		t.Errorf("%d property violations", violations)
+	}
+}
+
+func TestF3Smoke(t *testing.T) {
+	row, err := RunF3(5, FastTiming(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s\n%s", F3Header, row)
+	if row.Violations != 0 {
+		t.Errorf("%d property violations", row.Violations)
+	}
+}
+
+func TestE6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn window is slow")
+	}
+	for _, gap := range []int{200, 600} {
+		row, err := RunE6(time.Duration(gap)*time.Millisecond, 2*time.Second, true, FastTiming(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s\n%s", E6Header, row)
+		if row.Injections == 0 {
+			t.Error("no injections performed")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package fd implements an unreliable failure detector of the kind the
+// paper's system model requires: in an asynchronous system a process
+// cannot distinguish a crashed peer from a slow one, so the detector only
+// *suspects*. Suspicions may be wrong (false suspicions) and are revised
+// when a heartbeat arrives; within a stable partition the detector is
+// eventually accurate, which is what lets the membership protocol
+// converge.
+//
+// The detector is passive: the protocol event loop feeds it heartbeats and
+// polls it on its own ticks, so all detector state stays confined to that
+// loop (no internal goroutine, no locks).
+package fd
+
+import (
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Detector tracks the set of peers a process has heard from recently.
+// Not safe for concurrent use; confine to one goroutine.
+type Detector struct {
+	timeout   time.Duration
+	lastHeard map[ids.PID]time.Time
+	forced    map[ids.PID]struct{}
+}
+
+// New returns a detector that suspects any peer silent for longer than
+// timeout.
+func New(timeout time.Duration) *Detector {
+	return &Detector{
+		timeout:   timeout,
+		lastHeard: make(map[ids.PID]time.Time),
+		forced:    make(map[ids.PID]struct{}),
+	}
+}
+
+// Timeout returns the suspicion timeout.
+func (d *Detector) Timeout() time.Duration { return d.timeout }
+
+// Heard records a liveness indication (heartbeat or any message) from p
+// at the given time.
+func (d *Detector) Heard(p ids.PID, now time.Time) {
+	if t, ok := d.lastHeard[p]; !ok || now.After(t) {
+		d.lastHeard[p] = now
+	}
+}
+
+// Forget drops all state about p (e.g. after p leaves the group or its
+// site reappears with a newer incarnation).
+func (d *Detector) Forget(p ids.PID) {
+	delete(d.lastHeard, p)
+	delete(d.forced, p)
+}
+
+// ForceSuspect injects a false suspicion of p: Suspects(p) reports true
+// regardless of heartbeats until Unforce is called. Tests and experiments
+// use this to exercise the paper's "false suspicion" failure transitions.
+func (d *Detector) ForceSuspect(p ids.PID) { d.forced[p] = struct{}{} }
+
+// Unforce removes an injected suspicion.
+func (d *Detector) Unforce(p ids.PID) { delete(d.forced, p) }
+
+// Suspects reports whether p is currently suspected at time now. A peer
+// never heard from is suspected.
+func (d *Detector) Suspects(p ids.PID, now time.Time) bool {
+	if _, ok := d.forced[p]; ok {
+		return true
+	}
+	t, ok := d.lastHeard[p]
+	if !ok {
+		return true
+	}
+	return now.Sub(t) > d.timeout
+}
+
+// Known returns every peer the detector has ever heard from and not
+// forgotten, regardless of suspicion.
+func (d *Detector) Known() ids.PIDSet {
+	s := make(ids.PIDSet, len(d.lastHeard))
+	for p := range d.lastHeard {
+		s.Add(p)
+	}
+	return s
+}
+
+// Alive returns the set of known peers not suspected at time now.
+func (d *Detector) Alive(now time.Time) ids.PIDSet {
+	s := make(ids.PIDSet)
+	for p := range d.lastHeard {
+		if !d.Suspects(p, now) {
+			s.Add(p)
+		}
+	}
+	return s
+}
+
+// GC drops peers silent for longer than keep, bounding detector state in
+// long executions with many incarnations.
+func (d *Detector) GC(now time.Time, keep time.Duration) {
+	for p, t := range d.lastHeard {
+		if now.Sub(t) > keep {
+			d.Forget(p)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+var (
+	pa = ids.PID{Site: "a", Inc: 1}
+	pb = ids.PID{Site: "b", Inc: 1}
+)
+
+func TestNeverHeardIsSuspected(t *testing.T) {
+	d := New(100 * time.Millisecond)
+	if !d.Suspects(pa, time.Now()) {
+		t.Error("unknown peer must be suspected")
+	}
+}
+
+func TestHeartbeatClearsSuspicion(t *testing.T) {
+	d := New(100 * time.Millisecond)
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0)
+	if d.Suspects(pa, t0.Add(50*time.Millisecond)) {
+		t.Error("recently heard peer suspected")
+	}
+	if !d.Suspects(pa, t0.Add(150*time.Millisecond)) {
+		t.Error("silent peer not suspected after timeout")
+	}
+	// a new heartbeat revises the suspicion
+	d.Heard(pa, t0.Add(200*time.Millisecond))
+	if d.Suspects(pa, t0.Add(250*time.Millisecond)) {
+		t.Error("suspicion not revised by later heartbeat")
+	}
+}
+
+func TestHeardIgnoresStaleTimestamps(t *testing.T) {
+	d := New(100 * time.Millisecond)
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0.Add(time.Second))
+	d.Heard(pa, t0) // stale, must not roll lastHeard back
+	if d.Suspects(pa, t0.Add(time.Second+50*time.Millisecond)) {
+		t.Error("stale Heard rolled back liveness")
+	}
+}
+
+func TestForceSuspect(t *testing.T) {
+	d := New(time.Hour)
+	now := time.Unix(0, 0)
+	d.Heard(pa, now)
+	d.ForceSuspect(pa)
+	if !d.Suspects(pa, now) {
+		t.Error("forced suspicion ignored")
+	}
+	if d.Alive(now).Has(pa) {
+		t.Error("forced-suspected peer in Alive")
+	}
+	d.Unforce(pa)
+	if d.Suspects(pa, now) {
+		t.Error("Unforce did not clear suspicion")
+	}
+}
+
+func TestAliveAndKnown(t *testing.T) {
+	d := New(100 * time.Millisecond)
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0)
+	d.Heard(pb, t0.Add(-200*time.Millisecond)) // already timed out at t0
+	known := d.Known()
+	if !known.Has(pa) || !known.Has(pb) {
+		t.Fatalf("Known = %v", known)
+	}
+	alive := d.Alive(t0.Add(10 * time.Millisecond))
+	if !alive.Has(pa) || alive.Has(pb) {
+		t.Fatalf("Alive = %v", alive)
+	}
+}
+
+func TestForget(t *testing.T) {
+	d := New(time.Hour)
+	now := time.Unix(0, 0)
+	d.Heard(pa, now)
+	d.ForceSuspect(pa)
+	d.Forget(pa)
+	if d.Known().Has(pa) {
+		t.Error("Forget left peer in Known")
+	}
+	// forced flag must be cleared too: after hearing again, not suspected
+	d.Heard(pa, now)
+	if d.Suspects(pa, now) {
+		t.Error("Forget did not clear forced suspicion")
+	}
+}
+
+func TestGC(t *testing.T) {
+	d := New(10 * time.Millisecond)
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0)
+	d.Heard(pb, t0.Add(5*time.Second))
+	d.GC(t0.Add(6*time.Second), time.Second)
+	if d.Known().Has(pa) || !d.Known().Has(pb) {
+		t.Fatalf("GC kept wrong peers: %v", d.Known())
+	}
+}

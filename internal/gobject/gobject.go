@@ -1,0 +1,447 @@
+// Package gobject is a reusable harness for building group objects
+// (Section 3's application model) on top of the enriched view synchrony
+// run-time. It owns the machinery every group object otherwise
+// re-implements:
+//
+//   - consuming the process's event stream;
+//   - driving the Figure-1 mode machine from the object's mode function;
+//   - classifying the shared state problem at each S-mode entry
+//     (enriched local classification, or the flat announcement protocol);
+//   - exchanging per-view state snapshots among the members;
+//   - pulling bulk state with the transfer tool when the object says a
+//     replica is behind;
+//   - folding the subview structure back together (§6.2) once the object
+//     declares the view reconciled, and invoking Reconcile on the mode
+//     machine.
+//
+// The application implements the Object interface: its semantics
+// (snapshots, merges, donors) stay object-specific, the choreography is
+// shared. internal/apps/counter is the reference implementation; the
+// hand-rolled objects in internal/apps show the same pattern inlined.
+package gobject
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modes"
+	"repro/internal/simnet"
+	"repro/internal/sstate"
+	"repro/internal/stable"
+	"repro/internal/transfer"
+)
+
+// Errors returned by the Host API.
+var (
+	// ErrNotServing is returned by Multicast outside N-mode.
+	ErrNotServing = errors.New("gobject: not in N-mode")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("gobject: closed")
+)
+
+// Object is the application-specific part of a group object. All methods
+// are invoked from the host's single event-loop goroutine; the object
+// must do its own locking only if the application reads its state from
+// other goroutines.
+type Object interface {
+	// ModeFunc returns the object's mode function (§3: shared by all
+	// members) for this member.
+	ModeFunc(self ids.PID) modes.Func
+	// WasNormal is the classifier judgment: did this cluster serve
+	// external operations in N-mode before the change?
+	WasNormal(cluster ids.PIDSet) bool
+	// Snapshot serializes the small reconciliation state announced to
+	// every member at each view change (versions, digests — not bulk).
+	Snapshot() ([]byte, error)
+	// MergeSnapshot folds a member's announced snapshot into local
+	// state. It must be idempotent and order-insensitive.
+	MergeSnapshot(from ids.PID, snap []byte) error
+	// NeedPull decides, once every member's snapshot arrived, whether
+	// this replica still needs a bulk state transfer and from whom.
+	NeedPull(view core.EView, snaps map[ids.PID][]byte) (donor ids.PID, need bool)
+	// Apply handles an ordinary application multicast.
+	Apply(m core.MsgEvent)
+
+	// Bulk transfer callbacks (transfer.App).
+	transfer.App
+}
+
+// Config parametrizes a Host.
+type Config struct {
+	// Enriched selects §6.2 local classification; false runs the flat
+	// announcement protocol.
+	Enriched bool
+	// Transfer configures the bulk transfer tool.
+	Transfer transfer.Options
+}
+
+// Stats counts host activity.
+type Stats struct {
+	Classifications map[sstate.Kind]int
+	Pulls           int
+	Reconciles      int
+}
+
+// Host runs one replica of a group object.
+type Host struct {
+	p   *core.Process
+	obj Object
+	cfg Config
+
+	tool *transfer.Tool
+
+	mu       sync.Mutex
+	machine  *modes.Machine
+	settling *settle
+	snapView ids.ViewID
+	snaps    map[ids.PID][]byte
+	closed   bool
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	done chan struct{}
+}
+
+type settle struct {
+	view    core.EView
+	proto   *sstate.Protocol
+	class   *sstate.Classification
+	pulling bool
+}
+
+type hostMsg struct {
+	Type string  `json:"t"` // "snap"
+	From ids.PID `json:"from"`
+	Data []byte  `json:"data"`
+}
+
+var hostMagic = []byte("\x01gobject1\x00")
+
+func encodeHostMsg(m hostMsg) []byte {
+	body, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("gobject: encode: %v", err)) // unreachable
+	}
+	return append(append([]byte{}, hostMagic...), body...)
+}
+
+func decodeHostMsg(payload []byte) (hostMsg, bool) {
+	if !bytes.HasPrefix(payload, hostMagic) {
+		return hostMsg{}, false
+	}
+	var m hostMsg
+	if err := json.Unmarshal(payload[len(hostMagic):], &m); err != nil {
+		return hostMsg{}, false
+	}
+	return m, true
+}
+
+// Open starts a replica of obj at the given site.
+func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config, obj Object) (*Host, error) {
+	coreOpts.Enriched = cfg.Enriched
+	coreOpts.LogViews = true
+	p, err := core.Start(fabric, reg, site, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("gobject: %w", err)
+	}
+	h := &Host{
+		p:     p,
+		obj:   obj,
+		cfg:   cfg,
+		snaps: make(map[ids.PID][]byte),
+		done:  make(chan struct{}),
+	}
+	h.stats.Classifications = make(map[sstate.Kind]int)
+	h.tool = transfer.New(p, obj, cfg.Transfer)
+	go h.run()
+	return h, nil
+}
+
+// Process exposes the underlying process.
+func (h *Host) Process() *core.Process { return h.p }
+
+// Mode returns the current Figure-1 mode.
+func (h *Host) Mode() modes.Mode {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.machine == nil {
+		return modes.Settling
+	}
+	return h.machine.Mode()
+}
+
+// Stats returns a snapshot of the host counters.
+func (h *Host) Stats() Stats {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	out := h.stats
+	out.Classifications = make(map[sstate.Kind]int, len(h.stats.Classifications))
+	for k, v := range h.stats.Classifications {
+		out.Classifications[k] = v
+	}
+	return out
+}
+
+// Multicast sends an external-operation message; allowed only in N-mode.
+func (h *Host) Multicast(payload []byte) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	if h.machine == nil || h.machine.Mode() != modes.Normal {
+		h.mu.Unlock()
+		return ErrNotServing
+	}
+	h.mu.Unlock()
+	return h.p.Multicast(payload)
+}
+
+// Close leaves the group.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.p.Leave()
+	<-h.done
+}
+
+func (h *Host) run() {
+	defer close(h.done)
+	for ev := range h.p.Events() {
+		switch e := ev.(type) {
+		case core.ViewEvent:
+			h.onView(e.EView)
+		case core.EChangeEvent:
+			h.onEChange(e)
+		case core.MsgEvent:
+			h.onMsg(e)
+		}
+	}
+}
+
+func (h *Host) onView(v core.EView) {
+	h.mu.Lock()
+	prevMode := modes.Settling
+	prevView := ids.ViewID{}
+	if h.machine != nil {
+		prevMode = h.machine.Mode()
+		prevView = h.machine.View().ID
+	}
+	if h.machine == nil {
+		h.machine = modes.NewMachine(h.obj.ModeFunc(h.p.PID()), v)
+	} else {
+		h.machine.OnView(v)
+	}
+	h.tool.Abort()
+	h.settling = nil
+	h.snapView = v.ID
+	h.snaps = make(map[ids.PID][]byte)
+	if h.machine.Mode() == modes.Settling {
+		s := &settle{view: v}
+		h.settling = s
+		if h.cfg.Enriched {
+			class := sstate.ClassifyEnriched(v, h.obj.WasNormal)
+			s.class = &class
+			h.countClassification(class.Kind)
+		} else {
+			s.proto = sstate.NewProtocol(v)
+		}
+	}
+	h.mu.Unlock()
+
+	h.announce()
+	if !h.cfg.Enriched {
+		if payload, err := sstate.Announcement(h.p.PID(), prevView, prevMode); err == nil {
+			_ = h.p.Multicast(payload)
+		}
+	}
+	h.advance()
+}
+
+// announce multicasts the object's snapshot (every member, every view —
+// settlers need it to reconcile; N members answer so settlers can).
+func (h *Host) announce() {
+	snap, err := h.obj.Snapshot()
+	if err != nil {
+		return // the next view change retries
+	}
+	h.mu.Lock()
+	h.snaps[h.p.PID()] = snap
+	h.mu.Unlock()
+	_ = h.p.Multicast(encodeHostMsg(hostMsg{Type: "snap", From: h.p.PID(), Data: snap}))
+}
+
+func (h *Host) countClassification(k sstate.Kind) {
+	h.statsMu.Lock()
+	h.stats.Classifications[k]++
+	h.statsMu.Unlock()
+}
+
+// onEChange tracks structure changes for the settle round but does not
+// re-drive the mode machine: e-view changes only grow the structure
+// (application merges), so they can never degrade a capability, while
+// an AlwaysSettle-style mode function would spuriously Reconfigure a
+// reconciled member back into S with no settle round open.
+func (h *Host) onEChange(e core.EChangeEvent) {
+	h.mu.Lock()
+	if h.settling != nil {
+		h.settling.view = e.EView
+	}
+	h.mu.Unlock()
+	h.advance()
+}
+
+func (h *Host) onMsg(m core.MsgEvent) {
+	if pr, handled, _ := h.tool.HandleMessage(m); handled {
+		if pr.Done {
+			h.mu.Lock()
+			if h.settling != nil {
+				h.settling.pulling = false
+			}
+			h.mu.Unlock()
+			h.statsMu.Lock()
+			h.stats.Pulls++
+			h.statsMu.Unlock()
+			h.announce() // peers learn we caught up
+			h.advance()
+		}
+		return
+	}
+	if sstate.IsInfo(m.Payload) {
+		h.mu.Lock()
+		s := h.settling
+		if s != nil && s.proto != nil && m.View == s.view.ID {
+			done, _ := s.proto.Offer(m)
+			if done && s.class == nil {
+				if class, err := s.proto.Classify(); err == nil {
+					s.class = &class
+					h.countClassification(class.Kind)
+				}
+			}
+		}
+		h.mu.Unlock()
+		h.advance()
+		return
+	}
+	if msg, ok := decodeHostMsg(m.Payload); ok {
+		if msg.Type == "snap" {
+			h.mu.Lock()
+			inView := m.View == h.snapView
+			if inView {
+				h.snaps[msg.From] = msg.Data
+			}
+			h.mu.Unlock()
+			if inView {
+				_ = h.obj.MergeSnapshot(msg.From, msg.Data)
+			}
+			h.advance()
+		}
+		return
+	}
+	h.obj.Apply(m)
+}
+
+// advance drives the settle round and the sequencer's merge duty.
+func (h *Host) advance() {
+	h.mu.Lock()
+	if h.machine == nil {
+		h.mu.Unlock()
+		return
+	}
+	view := h.p.CurrentView()
+	comp := view.Comp()
+	allAnnounced := h.snapView == view.ID && len(h.snaps) >= len(comp)
+	snaps := make(map[ids.PID][]byte, len(h.snaps))
+	for k, v := range h.snaps {
+		snaps[k] = v
+	}
+
+	type action int
+	const (
+		actNone action = iota
+		actPull
+		actMergeSVSets
+		actMergeSubviews
+	)
+	act := actNone
+	var donor ids.PID
+
+	// Settler: pull if the object says this replica is behind.
+	if s := h.settling; s != nil && h.machine.Mode() == modes.Settling &&
+		allAnnounced && s.class != nil && !s.pulling {
+		if d, need := h.obj.NeedPull(view, snaps); need {
+			donor = d
+			s.pulling = true
+			act = actPull
+		}
+	}
+
+	// Sequencer: merge the structure once everyone announced and nobody
+	// reports needing a pull (deterministic: NeedPull judges from the
+	// same snapshot table everywhere).
+	if act == actNone && h.cfg.Enriched && allAnnounced {
+		if min, ok := comp.Min(); ok && min == h.p.PID() {
+			if _, need := h.obj.NeedPull(view, snaps); !need {
+				if view.Structure.NumSVSets() > 1 {
+					act = actMergeSVSets
+				} else if view.Structure.NumSubviews() > 1 {
+					act = actMergeSubviews
+				}
+			}
+		}
+	}
+
+	// Settler: reconcile once state and (enriched) structure agree.
+	reconciled := false
+	if act == actNone && h.settling != nil && h.machine.Mode() == modes.Settling &&
+		allAnnounced && h.settling.class != nil && !h.settling.pulling {
+		if _, need := h.obj.NeedPull(view, snaps); !need {
+			// The machine's own rule: any capability but R may reconcile.
+			// With the pull complete and every snapshot merged, the state
+			// is reconstructed even if the mode function still reports S
+			// (e.g. AlwaysSettle-style objects, or a structure merge that
+			// has not round-tripped yet).
+			if _, err := h.machine.Reconcile(); err == nil {
+				h.settling = nil
+				reconciled = true
+			}
+		}
+	}
+
+	var (
+		svsets   []ids.SVSetID
+		subviews []ids.SubviewID
+	)
+	switch act {
+	case actMergeSVSets:
+		svsets = view.Structure.SVSets()
+	case actMergeSubviews:
+		subviews = view.Structure.Subviews()
+	}
+	h.mu.Unlock()
+
+	if reconciled {
+		h.statsMu.Lock()
+		h.stats.Reconciles++
+		h.statsMu.Unlock()
+	}
+	switch act {
+	case actPull:
+		_ = h.tool.Request(donor)
+	case actMergeSVSets:
+		_ = h.p.SVSetMerge(svsets...)
+	case actMergeSubviews:
+		_ = h.p.SubviewMerge(subviews...)
+	}
+}

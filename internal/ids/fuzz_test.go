@@ -1,0 +1,26 @@
+package ids
+
+import "testing"
+
+// FuzzParsePID checks that the parser never panics and that every
+// accepted input round-trips.
+func FuzzParsePID(f *testing.F) {
+	f.Add("a#1")
+	f.Add("host#weird#42")
+	f.Add("#")
+	f.Add("x#0")
+	f.Add("x#99999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePID(s)
+		if err != nil {
+			return
+		}
+		if p.IsZero() {
+			t.Fatalf("ParsePID(%q) accepted a zero PID", s)
+		}
+		back, err := ParsePID(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip of %q: %v, %v", s, back, err)
+		}
+	})
+}

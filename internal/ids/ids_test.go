@@ -1,0 +1,239 @@
+package ids
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPIDString(t *testing.T) {
+	tests := []struct {
+		name string
+		pid  PID
+		want string
+	}{
+		{"simple", PID{Site: "a", Inc: 1}, "a#1"},
+		{"multi-incarnation", PID{Site: "node-3", Inc: 42}, "node-3#42"},
+		{"zero", PID{}, "<nil-pid>"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pid.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParsePIDRoundTrip(t *testing.T) {
+	tests := []PID{
+		{Site: "a", Inc: 1},
+		{Site: "host#weird", Inc: 7}, // '#' in site: LastIndexByte must split at the final '#'
+		{Site: "x", Inc: 4294967295},
+	}
+	for _, want := range tests {
+		got, err := ParsePID(want.String())
+		if err != nil {
+			t.Fatalf("ParsePID(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("ParsePID(%q) = %v, want %v", want.String(), got, want)
+		}
+	}
+}
+
+func TestParsePIDErrors(t *testing.T) {
+	for _, s := range []string{"", "a", "#1", "a#", "a#x", "a#0", "a#99999999999999999999"} {
+		if _, err := ParsePID(s); err == nil {
+			t.Errorf("ParsePID(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPIDLessIsStrictTotalOrder(t *testing.T) {
+	// Property: Less is irreflexive, asymmetric, transitive, and total.
+	f := func(a, b, c PID) bool {
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		// totality: exactly one of <, >, == holds
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewIDOrdering(t *testing.T) {
+	a := PID{Site: "a", Inc: 1}
+	b := PID{Site: "b", Inc: 1}
+	tests := []struct {
+		name string
+		v, w ViewID
+		want bool
+	}{
+		{"epoch dominates", ViewID{Epoch: 1, Coord: b}, ViewID{Epoch: 2, Coord: a}, true},
+		{"coord breaks ties", ViewID{Epoch: 3, Coord: a}, ViewID{Epoch: 3, Coord: b}, true},
+		{"equal not less", ViewID{Epoch: 3, Coord: a}, ViewID{Epoch: 3, Coord: a}, false},
+		{"reverse", ViewID{Epoch: 2, Coord: a}, ViewID{Epoch: 1, Coord: b}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Less(tt.w); got != tt.want {
+				t.Errorf("%v.Less(%v) = %v, want %v", tt.v, tt.w, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSubviewAndSVSetIDOrdering(t *testing.T) {
+	v1 := ViewID{Epoch: 1, Coord: PID{Site: "a", Inc: 1}}
+	v2 := ViewID{Epoch: 2, Coord: PID{Site: "a", Inc: 1}}
+	if !(SubviewID{Origin: v1, Seq: 9}).Less(SubviewID{Origin: v2, Seq: 1}) {
+		t.Error("subview origin should dominate seq")
+	}
+	if !(SubviewID{Origin: v1, Seq: 1}).Less(SubviewID{Origin: v1, Seq: 2}) {
+		t.Error("subview seq should break ties")
+	}
+	if !(SVSetID{Origin: v1, Seq: 9}).Less(SVSetID{Origin: v2, Seq: 1}) {
+		t.Error("sv-set origin should dominate seq")
+	}
+	if (SVSetID{Origin: v1, Seq: 1}).Less(SVSetID{Origin: v1, Seq: 1}) {
+		t.Error("sv-set Less must be irreflexive")
+	}
+}
+
+func TestZeroChecks(t *testing.T) {
+	if !(PID{}).IsZero() || !(ViewID{}).IsZero() || !(MsgID{}).IsZero() ||
+		!(SubviewID{}).IsZero() || !(SVSetID{}).IsZero() {
+		t.Error("zero values must report IsZero")
+	}
+	p := PID{Site: "a", Inc: 1}
+	if p.IsZero() || (ViewID{Epoch: 1, Coord: p}).IsZero() || (MsgID{Sender: p, Seq: 1}).IsZero() {
+		t.Error("non-zero values must not report IsZero")
+	}
+}
+
+func TestPIDSetBasics(t *testing.T) {
+	a := PID{Site: "a", Inc: 1}
+	b := PID{Site: "b", Inc: 1}
+	c := PID{Site: "c", Inc: 1}
+
+	s := NewPIDSet(a, b)
+	if !s.Has(a) || !s.Has(b) || s.Has(c) {
+		t.Fatal("membership wrong after NewPIDSet")
+	}
+	s.Add(c)
+	if !s.Has(c) {
+		t.Fatal("Add failed")
+	}
+	s.Remove(b)
+	if s.Has(b) {
+		t.Fatal("Remove failed")
+	}
+	if got := s.String(); got != "{a#1, c#1}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPIDSetAlgebra(t *testing.T) {
+	a := PID{Site: "a", Inc: 1}
+	b := PID{Site: "b", Inc: 1}
+	c := PID{Site: "c", Inc: 1}
+	s := NewPIDSet(a, b)
+	u := NewPIDSet(b, c)
+
+	if got := s.Union(u); !got.Equal(NewPIDSet(a, b, c)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s.Intersect(u); !got.Equal(NewPIDSet(b)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := s.Diff(u); !got.Equal(NewPIDSet(a)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !NewPIDSet(a).Subset(s) || s.Subset(NewPIDSet(a)) {
+		t.Error("Subset wrong")
+	}
+	if s.Equal(u) || !s.Equal(NewPIDSet(b, a)) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestPIDSetCloneIsIndependent(t *testing.T) {
+	a := PID{Site: "a", Inc: 1}
+	b := PID{Site: "b", Inc: 1}
+	s := NewPIDSet(a)
+	c := s.Clone()
+	c.Add(b)
+	if s.Has(b) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestPIDSetMin(t *testing.T) {
+	if _, ok := NewPIDSet().Min(); ok {
+		t.Error("Min of empty set should report !ok")
+	}
+	a1 := PID{Site: "a", Inc: 1}
+	a2 := PID{Site: "a", Inc: 2}
+	b := PID{Site: "b", Inc: 1}
+	got, ok := NewPIDSet(b, a2, a1).Min()
+	if !ok || got != a1 {
+		t.Errorf("Min = %v, %v; want %v, true", got, ok, a1)
+	}
+}
+
+func TestPIDSetSortedMatchesSort(t *testing.T) {
+	// Property: Sorted returns all members, in Less order, no duplicates.
+	f := func(raw []PID) bool {
+		s := NewPIDSet(raw...)
+		sorted := s.Sorted()
+		if len(sorted) != len(s) {
+			return false
+		}
+		if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) }) {
+			return false
+		}
+		for _, p := range sorted {
+			if !s.Has(p) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPIDSetUnionProperties(t *testing.T) {
+	// Property: union is commutative, idempotent, and contains both operands.
+	f := func(x, y []PID) bool {
+		s, u := NewPIDSet(x...), NewPIDSet(y...)
+		su := s.Union(u)
+		return su.Equal(u.Union(s)) && s.Subset(su) && u.Subset(su) && su.Union(su).Equal(su)
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(2)), MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

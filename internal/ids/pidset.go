@@ -1,0 +1,132 @@
+package ids
+
+import (
+	"sort"
+	"strings"
+)
+
+// PIDSet is an immutable-by-convention set of process identifiers. The
+// membership and enriched-view layers pass compositions around as PIDSets;
+// callers must not mutate a set they did not create (copy first).
+type PIDSet map[PID]struct{}
+
+// NewPIDSet builds a set from the given members.
+func NewPIDSet(members ...PID) PIDSet {
+	s := make(PIDSet, len(members))
+	for _, p := range members {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether p is a member of s.
+func (s PIDSet) Has(p PID) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Add inserts p into s.
+func (s PIDSet) Add(p PID) { s[p] = struct{}{} }
+
+// Remove deletes p from s.
+func (s PIDSet) Remove(p PID) { delete(s, p) }
+
+// Clone returns an independent copy of s.
+func (s PIDSet) Clone() PIDSet {
+	c := make(PIDSet, len(s))
+	for p := range s {
+		c[p] = struct{}{}
+	}
+	return c
+}
+
+// Union returns a new set holding every member of s or t.
+func (s PIDSet) Union(t PIDSet) PIDSet {
+	u := s.Clone()
+	for p := range t {
+		u[p] = struct{}{}
+	}
+	return u
+}
+
+// Intersect returns a new set holding every member of both s and t.
+func (s PIDSet) Intersect(t PIDSet) PIDSet {
+	u := make(PIDSet)
+	for p := range s {
+		if t.Has(p) {
+			u[p] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Diff returns a new set holding members of s that are not in t.
+func (s PIDSet) Diff(t PIDSet) PIDSet {
+	u := make(PIDSet)
+	for p := range s {
+		if !t.Has(p) {
+			u[p] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Equal reports whether s and t have the same members.
+func (s PIDSet) Equal(t PIDSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for p := range s {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every member of s is in t.
+func (s PIDSet) Subset(t PIDSet) bool {
+	for p := range s {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the members in (Site, Inc) order.
+func (s PIDSet) Sorted() []PID {
+	out := make([]PID, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Min returns the smallest member and true, or the zero PID and false if
+// the set is empty. The membership layer elects the Min as coordinator.
+func (s PIDSet) Min() (PID, bool) {
+	var best PID
+	found := false
+	for p := range s {
+		if !found || p.Less(best) {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+// String renders the set as "{a#1, b#1}" in sorted order.
+func (s PIDSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

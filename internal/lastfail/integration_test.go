@@ -1,0 +1,83 @@
+package lastfail_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lastfail"
+	"repro/internal/stable"
+	"repro/internal/vstest"
+)
+
+// TestLastToFailAfterRealCrashes runs a live group through staggered
+// crashes, then — before any recovery appends new log entries — gathers
+// the persisted view logs and determines who failed last, as a
+// recovering application would for state creation (§4).
+func TestLastToFailAfterRealCrashes(t *testing.T) {
+	n := vstest.NewNet(t, 400)
+	opts := vstest.FastOptions() // LogViews is on
+	procs := n.StartN(3, opts)
+	vstest.WaitConverged(t, procs, 10*time.Second)
+
+	// Crash c first, let {a,b} install a view, then crash b, let {a}
+	// install its singleton, then crash a: a failed last.
+	procs[2].Crash()
+	vstest.WaitConverged(t, procs[:2], 10*time.Second)
+	procs[1].Crash()
+	vstest.WaitView(t, procs[0], 10*time.Second, "a alone", func(v core.EView) bool {
+		return v.Size() == 1
+	})
+	procs[0].Crash()
+	time.Sleep(50 * time.Millisecond)
+
+	// Recovery-time log exchange: read each site's log BEFORE starting
+	// new incarnations (a new incarnation's bootstrap view would append
+	// and supersede the pre-crash dead end).
+	logs := make(map[string][]stable.ViewRecord)
+	for _, site := range []string{"a", "b", "c"} {
+		logs[site] = n.Reg.Open(site).ViewLog()
+	}
+	res := lastfail.Determine(logs)
+	last, ok := res.Unique()
+	if !ok {
+		t.Fatalf("expected a unique dead-end view, got %+v", res.LastViews)
+	}
+	if len(last.Members) != 1 || last.Members[0] != procs[0].PID() {
+		t.Fatalf("last view members = %v, want just %v", last.Members, procs[0].PID())
+	}
+	if !res.Freshest("a") || res.Freshest("b") || res.Freshest("c") {
+		t.Fatalf("freshest sites = %v, want only a", res.LastSites)
+	}
+}
+
+// TestLastToFailWithConcurrentDeadEnds crashes both sides of a live
+// partition and verifies the determination reports both final views.
+func TestLastToFailWithConcurrentDeadEnds(t *testing.T) {
+	n := vstest.NewNet(t, 401)
+	opts := vstest.FastOptions()
+	procs := n.StartN(4, opts)
+	vstest.WaitConverged(t, procs, 10*time.Second)
+
+	n.Fabric.SetPartitions([]string{"a", "b"}, []string{"c", "d"})
+	vstest.WaitConverged(t, procs[:2], 10*time.Second)
+	vstest.WaitConverged(t, procs[2:], 10*time.Second)
+	for _, p := range procs {
+		p.Crash()
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	logs := make(map[string][]stable.ViewRecord)
+	for _, site := range []string{"a", "b", "c", "d"} {
+		logs[site] = n.Reg.Open(site).ViewLog()
+	}
+	res := lastfail.Determine(logs)
+	if len(res.LastViews) != 2 {
+		t.Fatalf("dead ends = %+v, want the two partition finals", res.LastViews)
+	}
+	for _, site := range []string{"a", "b", "c", "d"} {
+		if !res.Freshest(site) {
+			t.Errorf("site %s missing from freshest set %v", site, res.LastSites)
+		}
+	}
+}

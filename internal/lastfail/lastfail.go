@@ -1,0 +1,96 @@
+// Package lastfail determines the last process(es) to fail from persisted
+// view logs, in the spirit of Skeen's algorithm (ACM TOCS 1985), which the
+// paper cites as the machinery state creation may need: after a total
+// failure, the recovering processes must find out whose permanent state is
+// freshest before recreating the shared state.
+//
+// Each process persists every view it installs (stable.Store.AppendView).
+// After recovery, the participants exchange their logs and run Determine,
+// which finds the "dead-end" views: views some process installed that no
+// process ever replaced with a successor. The members of those views were
+// the last to fail; their permanent state reflects every update the group
+// performed. With partitions there can be several concurrent dead-ends —
+// the creation-plus-merging case.
+package lastfail
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/stable"
+)
+
+// ViewInfo is one dead-end view: its id and membership.
+type ViewInfo struct {
+	View    ids.ViewID
+	Members []ids.PID
+}
+
+// Result is the outcome of last-to-fail determination.
+type Result struct {
+	// LastViews are the dead-end views, sorted by id. In failure
+	// histories without concurrent partitions there is exactly one.
+	LastViews []ViewInfo
+	// LastSites is the union of the sites of all dead-end members: the
+	// sites whose permanent state is freshest.
+	LastSites []string
+}
+
+// Determine analyzes the collected per-site view logs. Logs record views
+// oldest-first (the order stable.Store.AppendView preserves). Sites with
+// empty logs contribute nothing.
+func Determine(logs map[string][]stable.ViewRecord) Result {
+	// A view is superseded if any log contains a later entry after it.
+	superseded := make(map[ids.ViewID]bool)
+	lastOf := make(map[ids.ViewID]stable.ViewRecord)
+	for _, log := range logs {
+		for i, rec := range log {
+			if i < len(log)-1 {
+				superseded[rec.View] = true
+			}
+			lastOf[rec.View] = rec
+		}
+	}
+	var out Result
+	siteSet := make(map[string]struct{})
+	for view, rec := range lastOf {
+		if superseded[view] {
+			continue
+		}
+		members := make([]ids.PID, len(rec.Members))
+		copy(members, rec.Members)
+		sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+		out.LastViews = append(out.LastViews, ViewInfo{View: view, Members: members})
+		for _, m := range members {
+			siteSet[m.Site] = struct{}{}
+		}
+	}
+	sort.Slice(out.LastViews, func(i, j int) bool {
+		return out.LastViews[i].View.Less(out.LastViews[j].View)
+	})
+	for s := range siteSet {
+		out.LastSites = append(out.LastSites, s)
+	}
+	sort.Strings(out.LastSites)
+	return out
+}
+
+// Freshest reports whether the given site was a member of some dead-end
+// view — i.e. whether its permanent state is among the freshest.
+func (r Result) Freshest(site string) bool {
+	for _, s := range r.LastSites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// Unique returns the single dead-end view if the failure history had no
+// concurrent partitions at the end, and false otherwise.
+func (r Result) Unique() (ViewInfo, bool) {
+	if len(r.LastViews) == 1 {
+		return r.LastViews[0], true
+	}
+	return ViewInfo{}, false
+}

@@ -1,0 +1,128 @@
+package lastfail
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/stable"
+)
+
+func pid(site string, inc uint32) ids.PID { return ids.PID{Site: site, Inc: inc} }
+func vid(e uint64, c ids.PID) ids.ViewID  { return ids.ViewID{Epoch: e, Coord: c} }
+
+func rec(v ids.ViewID, members ...ids.PID) stable.ViewRecord {
+	return stable.ViewRecord{View: v, Members: members, Installer: members[0]}
+}
+
+func TestEmptyLogs(t *testing.T) {
+	got := Determine(nil)
+	if len(got.LastViews) != 0 || len(got.LastSites) != 0 {
+		t.Fatalf("empty input gave %+v", got)
+	}
+	got = Determine(map[string][]stable.ViewRecord{"a": nil})
+	if len(got.LastViews) != 0 {
+		t.Fatalf("empty logs gave %+v", got)
+	}
+}
+
+func TestSequentialShrinkingFailure(t *testing.T) {
+	// Classic total-failure history: {a,b,c} -> {a,b} -> {a}; a failed
+	// last and holds the freshest state.
+	a, b, c := pid("a", 1), pid("b", 1), pid("c", 1)
+	v1, v2, v3 := vid(1, a), vid(2, a), vid(3, a)
+	logs := map[string][]stable.ViewRecord{
+		"a": {rec(v1, a, b, c), rec(v2, a, b), rec(v3, a)},
+		"b": {rec(v1, a, b, c), rec(v2, a, b)},
+		"c": {rec(v1, a, b, c)},
+	}
+	got := Determine(logs)
+	last, ok := got.Unique()
+	if !ok {
+		t.Fatalf("expected unique last view, got %+v", got)
+	}
+	if last.View != v3 || len(last.Members) != 1 || last.Members[0] != a {
+		t.Fatalf("last = %+v", last)
+	}
+	if !got.Freshest("a") || got.Freshest("b") || got.Freshest("c") {
+		t.Fatalf("freshest sites = %v", got.LastSites)
+	}
+}
+
+func TestViewSupersededByOtherSiteLog(t *testing.T) {
+	// b's log ends at v2, but a's log shows v2 was followed by v3: v2 is
+	// not a dead end.
+	a, b := pid("a", 1), pid("b", 1)
+	v1, v2, v3 := vid(1, a), vid(2, a), vid(3, a)
+	logs := map[string][]stable.ViewRecord{
+		"a": {rec(v1, a, b), rec(v2, a, b), rec(v3, a)},
+		"b": {rec(v1, a, b), rec(v2, a, b)},
+	}
+	got := Determine(logs)
+	last, ok := got.Unique()
+	if !ok || last.View != v3 {
+		t.Fatalf("got %+v, want unique v3", got)
+	}
+}
+
+func TestConcurrentPartitionsGiveTwoDeadEnds(t *testing.T) {
+	// The group partitions into {a,b} and {c,d}, then everything fails:
+	// both final views are last — the creation-plus-merging situation.
+	a, b, c, d := pid("a", 1), pid("b", 1), pid("c", 1), pid("d", 1)
+	v1 := vid(1, a)
+	vLeft, vRight := vid(2, a), vid(2, c)
+	logs := map[string][]stable.ViewRecord{
+		"a": {rec(v1, a, b, c, d), rec(vLeft, a, b)},
+		"b": {rec(v1, a, b, c, d), rec(vLeft, a, b)},
+		"c": {rec(v1, a, b, c, d), rec(vRight, c, d)},
+		"d": {rec(v1, a, b, c, d), rec(vRight, c, d)},
+	}
+	got := Determine(logs)
+	if len(got.LastViews) != 2 {
+		t.Fatalf("dead ends = %+v", got.LastViews)
+	}
+	if _, ok := got.Unique(); ok {
+		t.Fatal("Unique must be false with two dead ends")
+	}
+	if len(got.LastSites) != 4 {
+		t.Fatalf("freshest sites = %v", got.LastSites)
+	}
+}
+
+func TestPartialKnowledge(t *testing.T) {
+	// Only a subset of sites recovered and contributed logs; the dead end
+	// computed from what is known still points at the freshest among
+	// them.
+	a, b, c := pid("a", 1), pid("b", 1), pid("c", 1)
+	v1, v2 := vid(1, a), vid(2, a)
+	logs := map[string][]stable.ViewRecord{
+		"b": {rec(v1, a, b, c), rec(v2, a, b)},
+	}
+	got := Determine(logs)
+	last, ok := got.Unique()
+	if !ok || last.View != v2 {
+		t.Fatalf("got %+v", got)
+	}
+	// Members of the dead-end view include a, even though a contributed
+	// no log — its site still counts as freshest.
+	if !got.Freshest("a") || !got.Freshest("b") || got.Freshest("c") {
+		t.Fatalf("freshest = %v", got.LastSites)
+	}
+}
+
+func TestMembersSortedAndCopied(t *testing.T) {
+	a, b := pid("a", 1), pid("b", 1)
+	v1 := vid(1, a)
+	orig := []ids.PID{b, a}
+	logs := map[string][]stable.ViewRecord{
+		"a": {{View: v1, Members: orig, Installer: a}},
+	}
+	got := Determine(logs)
+	if got.LastViews[0].Members[0] != a {
+		t.Fatal("members not sorted")
+	}
+	got.LastViews[0].Members[0] = pid("x", 1)
+	again := Determine(logs)
+	if again.LastViews[0].Members[0] != a {
+		t.Fatal("result shares storage with input")
+	}
+}

@@ -1,0 +1,57 @@
+package modes
+
+import (
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/quorum"
+)
+
+// AlwaysSettle returns the mode function of the paper's replicated
+// look-up database example: every external operation can run in any view
+// (R-mode does not exist), but any view change requires redefining the
+// division of responsibility, so every view change targets S.
+func AlwaysSettle() Func {
+	return func(_, _ core.EView) Mode { return Settling }
+}
+
+// QuorumEnriched returns the mode function of the replicated-file example
+// for a process running on enriched views, using §6.2's local reasoning:
+//
+//   - a view without a write quorum supports reads only: capability R;
+//   - a view with a quorum-holding *subview* containing self: the
+//     process's shared state is up to date, capability N;
+//   - a view with a quorum but no quorum-holding subview (or self
+//     outside it): state transfer / creation / merging is needed first,
+//     capability S.
+func QuorumEnriched(self ids.PID, rw quorum.RW) Func {
+	return func(_, cur core.EView) Mode {
+		comp := cur.Comp()
+		if !rw.CanWrite(comp) {
+			return Reduced
+		}
+		for _, sv := range cur.Structure.Subviews() {
+			members := cur.Structure.SubviewMembers(sv)
+			if rw.CanWrite(members) {
+				if members.Has(self) {
+					return Normal
+				}
+				return Settling
+			}
+		}
+		return Settling
+	}
+}
+
+// QuorumFlat returns the replicated-file mode function for traditional
+// (flat) views. Without structure the process cannot tell locally whether
+// an up-to-date majority survived — the paper's central observation — so
+// any quorum view conservatively targets S and the application must run a
+// classification protocol before reconciling.
+func QuorumFlat(rw quorum.RW) Func {
+	return func(_, cur core.EView) Mode {
+		if !rw.CanWrite(cur.Comp()) {
+			return Reduced
+		}
+		return Settling
+	}
+}

@@ -1,0 +1,251 @@
+// Package modes implements the paper's application model (Section 3): a
+// group-object process is at any time in one of three execution modes —
+//
+//	NORMAL   (N): all external operations are served;
+//	REDUCED  (R): only a subset of external operations is served;
+//	SETTLING (S): only internal operations run, reconstructing the
+//	              shared global state.
+//
+// Transitions follow Figure 1 exactly:
+//
+//	N --Failure--> R        N --Reconfigure--> S
+//	R --Repair---> S        S --Reconfigure--> S
+//	S --Failure--> R        S --Reconcile----> N
+//
+// Every transition except Reconcile is driven by a view change (an event
+// asynchronous to the computation); Reconcile alone is synchronous with
+// the computation — the application invokes it after successfully
+// solving the shared state problem. The machine enforces that N is
+// reachable only through Reconcile.
+package modes
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Mode is a group-object execution mode.
+type Mode int
+
+// The three modes of Figure 1.
+const (
+	Normal Mode = iota + 1
+	Reduced
+	Settling
+)
+
+// String renders the mode as in the paper (N / R / S).
+func (m Mode) String() string {
+	switch m {
+	case Normal:
+		return "N"
+	case Reduced:
+		return "R"
+	case Settling:
+		return "S"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Transition labels the Figure-1 edges.
+type Transition int
+
+// The four transition causes of Figure 1.
+const (
+	Failure Transition = iota + 1
+	Repair
+	Reconfigure
+	Reconcile
+)
+
+// String renders the transition label.
+func (t Transition) String() string {
+	switch t {
+	case Failure:
+		return "Failure"
+	case Repair:
+		return "Repair"
+	case Reconfigure:
+		return "Reconfigure"
+	case Reconcile:
+		return "Reconcile"
+	default:
+		return fmt.Sprintf("Transition(%d)", int(t))
+	}
+}
+
+// Func is a mode function: given the previous and the newly installed
+// enriched view it returns the target capability of the process. Per the
+// paper's simplifying assumption the function depends only on the
+// current view (and, for flat-view baselines that cannot read structure,
+// the immediately preceding one); all processes of a group object share
+// the same Func.
+type Func func(prev, cur core.EView) Mode
+
+// Step records one transition taken by the machine.
+type Step struct {
+	From, To Mode
+	Label    Transition
+	// View is the view whose installation caused the step (the current
+	// view for Reconcile steps).
+	View ids.ViewID
+	At   time.Time
+}
+
+// Machine is the per-process Figure-1 mode machine. Not safe for
+// concurrent use: drive it from the goroutine consuming the process's
+// events.
+type Machine struct {
+	fn   Func
+	mode Mode
+	prev core.EView
+	// target is the capability computed at the last view change; Reconcile
+	// is legal only while it is not Reduced.
+	target Mode
+
+	now     func() time.Time
+	since   time.Time
+	history []Step
+	counts  map[Transition]int
+	resided map[Mode]time.Duration
+}
+
+// NewMachine creates a machine for the first installed view. The initial
+// mode follows the rule that N is only entered via Reconcile: a capability
+// of N or S starts in S (state must be created/validated first); R starts
+// in R.
+func NewMachine(fn Func, first core.EView) *Machine {
+	return newMachineAt(fn, first, time.Now)
+}
+
+// newMachineAt injects a clock (tests).
+func newMachineAt(fn Func, first core.EView, now func() time.Time) *Machine {
+	m := &Machine{
+		fn:      fn,
+		now:     now,
+		counts:  make(map[Transition]int),
+		resided: make(map[Mode]time.Duration),
+	}
+	m.prev = first
+	m.target = fn(core.EView{}, first)
+	if m.target == Reduced {
+		m.mode = Reduced
+	} else {
+		m.mode = Settling
+	}
+	m.since = m.now()
+	return m
+}
+
+// Mode returns the current mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// Target returns the capability computed at the last view change.
+func (m *Machine) Target() Mode { return m.target }
+
+// View returns the view the machine last evaluated.
+func (m *Machine) View() core.EView { return m.prev }
+
+// OnView feeds a newly installed view (or an e-view change, whose
+// structure may affect the mode function) into the machine. It returns
+// the step taken, or ok=false when the view causes no transition.
+func (m *Machine) OnView(v core.EView) (Step, bool) {
+	target := m.fn(m.prev, v)
+	m.prev = v
+	m.target = target
+
+	from := m.mode
+	var (
+		to    Mode
+		label Transition
+	)
+	switch from {
+	case Normal:
+		switch target {
+		case Normal:
+			return Step{}, false // undisturbed (§6.2)
+		case Reduced:
+			to, label = Reduced, Failure
+		case Settling:
+			to, label = Settling, Reconfigure
+		}
+	case Reduced:
+		switch target {
+		case Reduced:
+			return Step{}, false
+		case Normal, Settling:
+			// Conditions for (eventually) full service are back; state
+			// reconstruction must run before re-entering N.
+			to, label = Settling, Repair
+		}
+	case Settling:
+		switch target {
+		case Reduced:
+			to, label = Reduced, Failure
+		case Normal, Settling:
+			// Overlapping reconstruction instances: S -> S Reconfigure.
+			to, label = Settling, Reconfigure
+		}
+	}
+	return m.step(from, to, label, v.ID), true
+}
+
+// ErrCannotReconcile is returned by Reconcile outside S-mode or while the
+// current capability does not allow external operations.
+var ErrCannotReconcile = errors.New("modes: reconcile not permitted")
+
+// Reconcile is invoked by the application after it has successfully
+// solved the shared state problem; it is the only entry into N-mode and
+// the only transition synchronous with the computation.
+func (m *Machine) Reconcile() (Step, error) {
+	if m.mode != Settling {
+		return Step{}, fmt.Errorf("%w: mode is %v, not S", ErrCannotReconcile, m.mode)
+	}
+	if m.target == Reduced {
+		return Step{}, fmt.Errorf("%w: current view capability is R", ErrCannotReconcile)
+	}
+	return m.step(Settling, Normal, Reconcile, m.prev.ID), nil
+}
+
+func (m *Machine) step(from, to Mode, label Transition, view ids.ViewID) Step {
+	now := m.now()
+	m.resided[from] += now.Sub(m.since)
+	m.since = now
+	m.mode = to
+	st := Step{From: from, To: to, Label: label, View: view, At: now}
+	m.history = append(m.history, st)
+	m.counts[label]++
+	return st
+}
+
+// History returns all steps taken, oldest first.
+func (m *Machine) History() []Step {
+	out := make([]Step, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// Counts returns the number of steps per transition label.
+func (m *Machine) Counts() map[Transition]int {
+	out := make(map[Transition]int, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Residency returns the cumulative time spent in each mode, including
+// the still-open stay in the current mode.
+func (m *Machine) Residency() map[Mode]time.Duration {
+	out := make(map[Mode]time.Duration, len(m.resided)+1)
+	for k, v := range m.resided {
+		out[k] = v
+	}
+	out[m.mode] += m.now().Sub(m.since)
+	return out
+}

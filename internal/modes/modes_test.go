@@ -1,0 +1,338 @@
+package modes
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evs"
+	"repro/internal/ids"
+	"repro/internal/quorum"
+)
+
+var (
+	pa = ids.PID{Site: "a", Inc: 1}
+	pb = ids.PID{Site: "b", Inc: 1}
+	pc = ids.PID{Site: "c", Inc: 1}
+	pd = ids.PID{Site: "d", Inc: 1}
+	pe = ids.PID{Site: "e", Inc: 1}
+)
+
+func flatView(epoch uint64, members ...ids.PID) core.EView {
+	id := ids.ViewID{Epoch: epoch, Coord: members[0]}
+	comp := ids.NewPIDSet(members...)
+	return core.EView{ID: id, Members: comp.Sorted(), Structure: evs.Flat(id, comp)}
+}
+
+// fixedClock is an advanceable test clock.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) now() time.Time          { return c.t }
+func (c *fixedClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFixedClock() *fixedClock              { return &fixedClock{t: time.Unix(1000, 0)} }
+func constFunc(m Mode) Func                   { return func(_, _ core.EView) Mode { return m } }
+func targetByEpoch(targets map[uint64]Mode) Func {
+	return func(_, cur core.EView) Mode { return targets[cur.ID.Epoch] }
+}
+
+func TestInitialModeRules(t *testing.T) {
+	v := flatView(1, pa)
+	tests := []struct {
+		name string
+		fn   Func
+		want Mode
+	}{
+		{"capability N starts settling", constFunc(Normal), Settling},
+		{"capability S starts settling", constFunc(Settling), Settling},
+		{"capability R starts reduced", constFunc(Reduced), Reduced},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := NewMachine(tt.fn, v)
+			if m.Mode() != tt.want {
+				t.Errorf("initial mode = %v, want %v", m.Mode(), tt.want)
+			}
+		})
+	}
+}
+
+func TestFigure1TransitionTable(t *testing.T) {
+	// Every legal (from, target) pair and its expected Figure-1 edge.
+	tests := []struct {
+		name      string
+		from      Mode
+		target    Mode
+		wantMove  bool
+		wantTo    Mode
+		wantLabel Transition
+	}{
+		{"N stays N", Normal, Normal, false, 0, 0},
+		{"N fails to R", Normal, Reduced, true, Reduced, Failure},
+		{"N reconfigures to S", Normal, Settling, true, Settling, Reconfigure},
+		{"R stays R", Reduced, Reduced, false, 0, 0},
+		{"R repairs toward N via S", Reduced, Normal, true, Settling, Repair},
+		{"R repairs to S", Reduced, Settling, true, Settling, Repair},
+		{"S fails to R", Settling, Reduced, true, Reduced, Failure},
+		{"S reconfigures on S", Settling, Settling, true, Settling, Reconfigure},
+		{"S reconfigures on N target", Settling, Normal, true, Settling, Reconfigure},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m2 := machineInMode(t, tt.from)
+			m2.fn = constFunc(tt.target)
+			step, moved := m2.OnView(flatView(60, pa, pb))
+			if moved != tt.wantMove {
+				t.Fatalf("moved = %v, want %v", moved, tt.wantMove)
+			}
+			if !moved {
+				if m2.Mode() != tt.from {
+					t.Fatalf("mode changed without a step: %v", m2.Mode())
+				}
+				return
+			}
+			if step.From != tt.from || step.To != tt.wantTo || step.Label != tt.wantLabel {
+				t.Fatalf("step = %+v, want %v-%v->%v", step, tt.from, tt.wantLabel, tt.wantTo)
+			}
+			if m2.Mode() != tt.wantTo {
+				t.Fatalf("mode = %v, want %v", m2.Mode(), tt.wantTo)
+			}
+		})
+	}
+}
+
+// machineInMode builds a machine currently in the given mode.
+func machineInMode(t *testing.T, m Mode) *Machine {
+	t.Helper()
+	switch m {
+	case Settling:
+		return NewMachine(constFunc(Settling), flatView(1, pa))
+	case Reduced:
+		return NewMachine(constFunc(Reduced), flatView(1, pa))
+	case Normal:
+		mach := NewMachine(constFunc(Normal), flatView(1, pa))
+		if _, err := mach.Reconcile(); err != nil {
+			t.Fatalf("setup reconcile: %v", err)
+		}
+		return mach
+	default:
+		t.Fatalf("bad mode %v", m)
+		return nil
+	}
+}
+
+func TestReconcileIsOnlyEntryToNormal(t *testing.T) {
+	m := NewMachine(constFunc(Normal), flatView(1, pa))
+	if m.Mode() != Settling {
+		t.Fatal("setup")
+	}
+	step, err := m.Reconcile()
+	if err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	if step.From != Settling || step.To != Normal || step.Label != Reconcile {
+		t.Fatalf("step = %+v", step)
+	}
+	if m.Mode() != Normal {
+		t.Fatalf("mode = %v", m.Mode())
+	}
+	// Reconcile outside S fails.
+	if _, err := m.Reconcile(); !errors.Is(err, ErrCannotReconcile) {
+		t.Fatalf("second Reconcile: %v", err)
+	}
+}
+
+func TestReconcileRejectedWhileReduced(t *testing.T) {
+	// In S with capability R... cannot happen (S,R -> R), so test the
+	// guard directly: machine in S whose latest target is R after a
+	// failure is in R; Reconcile must fail there.
+	m := NewMachine(constFunc(Reduced), flatView(1, pa))
+	if _, err := m.Reconcile(); !errors.Is(err, ErrCannotReconcile) {
+		t.Fatalf("Reconcile in R: %v", err)
+	}
+}
+
+func TestQuorumLifecycleScenario(t *testing.T) {
+	// A five-replica file object: majority view -> settle -> reconcile
+	// -> N; partition to minority -> R (Failure); repair -> S (Repair);
+	// reconcile -> N.
+	rw := quorum.MajorityRW(quorum.Uniform("a", "b", "c", "d", "e"))
+	fn := QuorumFlat(rw)
+	v5 := flatView(1, pa, pb, pc, pd, pe)
+	m := NewMachine(fn, v5)
+	if m.Mode() != Settling {
+		t.Fatalf("initial = %v", m.Mode())
+	}
+	if _, err := m.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: minority side {a,b}.
+	step, moved := m.OnView(flatView(2, pa, pb))
+	if !moved || step.Label != Failure || m.Mode() != Reduced {
+		t.Fatalf("minority: %+v, mode %v", step, m.Mode())
+	}
+	// Repair: back to majority.
+	step, moved = m.OnView(flatView(3, pa, pb, pc, pd))
+	if !moved || step.Label != Repair || m.Mode() != Settling {
+		t.Fatalf("repair: %+v, mode %v", step, m.Mode())
+	}
+	if _, err := m.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode() != Normal {
+		t.Fatal("not back to N")
+	}
+	counts := m.Counts()
+	if counts[Failure] != 1 || counts[Repair] != 1 || counts[Reconcile] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestResidencyAccounting(t *testing.T) {
+	clk := newFixedClock()
+	m := newMachineAt(constFunc(Settling), flatView(1, pa), clk.now)
+	clk.advance(10 * time.Second) // 10s in S
+	m.fn = constFunc(Reduced)
+	if _, ok := m.OnView(flatView(2, pa)); !ok {
+		t.Fatal("no step")
+	}
+	clk.advance(5 * time.Second) // 5s in R
+	res := m.Residency()
+	if res[Settling] != 10*time.Second {
+		t.Errorf("S residency = %v", res[Settling])
+	}
+	if res[Reduced] != 5*time.Second {
+		t.Errorf("R residency = %v (open stay must count)", res[Reduced])
+	}
+}
+
+func TestHistoryOrder(t *testing.T) {
+	m := NewMachine(targetByEpoch(map[uint64]Mode{1: Settling, 2: Reduced, 3: Normal}), flatView(1, pa))
+	m.OnView(flatView(2, pa))
+	m.OnView(flatView(3, pa))
+	if _, err := m.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	h := m.History()
+	want := []Transition{Failure, Repair, Reconcile}
+	if len(h) != len(want) {
+		t.Fatalf("history = %+v", h)
+	}
+	for i, tr := range want {
+		if h[i].Label != tr {
+			t.Fatalf("history[%d] = %v, want %v", i, h[i].Label, tr)
+		}
+	}
+}
+
+func TestQuorumEnrichedModeFunc(t *testing.T) {
+	rw := quorum.MajorityRW(quorum.Uniform("a", "b", "c", "d", "e"))
+	fn := QuorumEnriched(pa, rw)
+
+	// Minority view: R regardless of structure.
+	if got := fn(core.EView{}, flatView(1, pa, pb)); got != Reduced {
+		t.Errorf("minority = %v, want R", got)
+	}
+	// Majority view, single subview containing self and a quorum: N.
+	if got := fn(core.EView{}, flatView(2, pa, pb, pc)); got != Normal {
+		t.Errorf("majority subview with self = %v, want N", got)
+	}
+	// Majority view but fragmented structure (fresh singletons): S.
+	id := ids.ViewID{Epoch: 3, Coord: pa}
+	comp := ids.NewPIDSet(pa, pb, pc)
+	frag := core.EView{ID: id, Members: comp.Sorted(), Structure: evs.Compose(id, comp, nil)}
+	if got := fn(core.EView{}, frag); got != Settling {
+		t.Errorf("fragmented majority = %v, want S", got)
+	}
+	// Majority view, quorum subview exists but self outside it: S.
+	id4 := ids.ViewID{Epoch: 4, Coord: pa}
+	comp4 := ids.NewPIDSet(pa, pb, pc, pd)
+	pred := evs.Flat(ids.ViewID{Epoch: 3, Coord: pb}, ids.NewPIDSet(pb, pc, pd))
+	st := evs.Compose(id4, comp4, []evs.Predecessor{{Structure: pred, Survivors: ids.NewPIDSet(pb, pc, pd)}})
+	joined := core.EView{ID: id4, Members: comp4.Sorted(), Structure: st}
+	if got := fn(core.EView{}, joined); got != Settling {
+		t.Errorf("self outside quorum subview = %v, want S", got)
+	}
+	// Same view from pb's perspective: N.
+	fnB := QuorumEnriched(pb, rw)
+	if got := fnB(core.EView{}, joined); got != Normal {
+		t.Errorf("member of quorum subview = %v, want N", got)
+	}
+}
+
+func TestAlwaysSettle(t *testing.T) {
+	fn := AlwaysSettle()
+	if fn(core.EView{}, flatView(1, pa)) != Settling {
+		t.Error("AlwaysSettle must return S")
+	}
+}
+
+// TestMachinePropertyRandomDrives is a property test: under arbitrary
+// sequences of view events (random targets) interleaved with reconcile
+// attempts, the machine (a) takes only the six legal Figure-1 edges,
+// (b) enters N only through Reconcile, and (c) never reconciles while
+// the capability is R.
+func TestMachinePropertyRandomDrives(t *testing.T) {
+	r := rand.New(rand.NewSource(66))
+	legal := map[[2]Mode]map[Transition]bool{
+		{Normal, Reduced}:    {Failure: true},
+		{Normal, Settling}:   {Reconfigure: true},
+		{Reduced, Settling}:  {Repair: true},
+		{Settling, Reduced}:  {Failure: true},
+		{Settling, Settling}: {Reconfigure: true},
+		{Settling, Normal}:   {Reconcile: true},
+	}
+	targets := []Mode{Normal, Reduced, Settling}
+	for trial := 0; trial < 200; trial++ {
+		next := targets[r.Intn(3)]
+		fn := func(_, _ core.EView) Mode { return next }
+		m := newMachineAt(fn, flatView(1, pa), newFixedClock().now)
+		for step := 0; step < 50; step++ {
+			if r.Intn(3) == 0 {
+				st, err := m.Reconcile()
+				if err == nil {
+					if st.From != Settling || st.To != Normal || st.Label != Reconcile {
+						t.Fatalf("trial %d: bad reconcile step %+v", trial, st)
+					}
+					if m.Target() == Reduced {
+						t.Fatalf("trial %d: reconciled while capability R", trial)
+					}
+				}
+				continue
+			}
+			next = targets[r.Intn(3)]
+			st, moved := m.OnView(flatView(uint64(step+2), pa))
+			if moved {
+				if !legal[[2]Mode{st.From, st.To}][st.Label] {
+					t.Fatalf("trial %d: illegal edge %v -%v-> %v", trial, st.From, st.Label, st.To)
+				}
+				if st.To == Normal && st.Label != Reconcile {
+					t.Fatalf("trial %d: entered N without Reconcile", trial)
+				}
+			}
+		}
+		// The recorded history is internally consistent: each step
+		// starts where the previous ended.
+		h := m.History()
+		for i := 1; i < len(h); i++ {
+			if h[i].From != h[i-1].To {
+				t.Fatalf("trial %d: history discontinuity at %d: %+v -> %+v", trial, i, h[i-1], h[i])
+			}
+		}
+	}
+}
+
+func TestModeAndTransitionStrings(t *testing.T) {
+	if Normal.String() != "N" || Reduced.String() != "R" || Settling.String() != "S" {
+		t.Error("mode strings")
+	}
+	if Failure.String() != "Failure" || Repair.String() != "Repair" ||
+		Reconfigure.String() != "Reconfigure" || Reconcile.String() != "Reconcile" {
+		t.Error("transition strings")
+	}
+	if Mode(9).String() == "" || Transition(9).String() == "" {
+		t.Error("unknown values must render")
+	}
+}

@@ -1,0 +1,31 @@
+package quorum
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// BenchmarkCanWrite measures the quorum predicate evaluated by mode
+// functions on every view change.
+func BenchmarkCanWrite(b *testing.B) {
+	for _, n := range []int{3, 9, 33} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sites := make([]string, n)
+			set := make(ids.PIDSet, n)
+			for i := range sites {
+				sites[i] = fmt.Sprintf("s%03d", i)
+				set.Add(ids.PID{Site: sites[i], Inc: 1})
+			}
+			rw := MajorityRW(Uniform(sites...))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !rw.CanWrite(set) {
+					b.Fatal("full set must hold quorum")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+// Package quorum implements weighted voting for replicated objects, the
+// classic technique the paper's replicated-file example uses: each
+// replica holds votes, and a quorum is a set of votes obtainable in at
+// most one concurrent view, so conflicting operations can never both
+// find a quorum across concurrent partitions.
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// Voting assigns votes to sites. Votes belong to sites, not incarnations:
+// a recovered replica (new PID, same site) retains its votes.
+type Voting struct {
+	votes map[string]int
+	total int
+}
+
+// New builds a vote assignment. Negative votes are rejected.
+func New(votes map[string]int) (Voting, error) {
+	v := Voting{votes: make(map[string]int, len(votes))}
+	for site, n := range votes {
+		if n < 0 {
+			return Voting{}, fmt.Errorf("quorum: negative votes for %q", site)
+		}
+		v.votes[site] = n
+		v.total += n
+	}
+	if v.total == 0 {
+		return Voting{}, fmt.Errorf("quorum: no votes assigned")
+	}
+	return v, nil
+}
+
+// Uniform assigns one vote to each given site.
+func Uniform(sites ...string) Voting {
+	votes := make(map[string]int, len(sites))
+	for _, s := range sites {
+		votes[s] = 1
+	}
+	v, err := New(votes)
+	if err != nil {
+		panic(err) // unreachable: at least one site with one vote
+	}
+	return v
+}
+
+// Total returns the total number of votes.
+func (v Voting) Total() int { return v.total }
+
+// VotesOf sums the votes held by the distinct sites present in set.
+// Multiple incarnations of one site count once.
+func (v Voting) VotesOf(set ids.PIDSet) int {
+	seen := make(map[string]struct{}, len(set))
+	sum := 0
+	for p := range set {
+		if _, dup := seen[p.Site]; dup {
+			continue
+		}
+		seen[p.Site] = struct{}{}
+		sum += v.votes[p.Site]
+	}
+	return sum
+}
+
+// Majority reports whether set holds a strict majority of all votes.
+// Strict majority guarantees at most one concurrent view can have it.
+func (v Voting) Majority(set ids.PIDSet) bool {
+	return v.VotesOf(set)*2 > v.total
+}
+
+// Meets reports whether set holds at least threshold votes.
+func (v Voting) Meets(set ids.PIDSet, threshold int) bool {
+	return v.VotesOf(set) >= threshold
+}
+
+// RW is a read/write quorum system over a vote assignment: any read
+// quorum intersects any write quorum (R+W > total), and two write
+// quorums always intersect (2W > total).
+type RW struct {
+	Voting Voting
+	// R and W are the read and write thresholds in votes.
+	R, W int
+}
+
+// NewRW validates the thresholds and returns the quorum system.
+func NewRW(v Voting, r, w int) (RW, error) {
+	if r <= 0 || w <= 0 {
+		return RW{}, fmt.Errorf("quorum: thresholds must be positive (r=%d, w=%d)", r, w)
+	}
+	if r+w <= v.total {
+		return RW{}, fmt.Errorf("quorum: r+w = %d must exceed total votes %d", r+w, v.total)
+	}
+	if 2*w <= v.total {
+		return RW{}, fmt.Errorf("quorum: 2w = %d must exceed total votes %d", 2*w, v.total)
+	}
+	return RW{Voting: v, R: r, W: w}, nil
+}
+
+// MajorityRW returns the symmetric majority quorum system (R = W =
+// floor(total/2)+1).
+func MajorityRW(v Voting) RW {
+	maj := v.total/2 + 1
+	rw, err := NewRW(v, maj, maj)
+	if err != nil {
+		panic(err) // unreachable: majority thresholds always valid
+	}
+	return rw
+}
+
+// CanRead reports whether set holds a read quorum.
+func (q RW) CanRead(set ids.PIDSet) bool { return q.Voting.Meets(set, q.R) }
+
+// CanWrite reports whether set holds a write quorum.
+func (q RW) CanWrite(set ids.PIDSet) bool { return q.Voting.Meets(set, q.W) }

@@ -1,0 +1,164 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func pid(site string, inc uint32) ids.PID { return ids.PID{Site: site, Inc: inc} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(map[string]int{"a": -1}); err == nil {
+		t.Error("negative votes accepted")
+	}
+	if _, err := New(map[string]int{}); err == nil {
+		t.Error("empty assignment accepted")
+	}
+	if _, err := New(map[string]int{"a": 0}); err == nil {
+		t.Error("zero total accepted")
+	}
+	v, err := New(map[string]int{"a": 2, "b": 1})
+	if err != nil || v.Total() != 3 {
+		t.Fatalf("New = %v, %v", v, err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	v := Uniform("a", "b", "c")
+	if v.Total() != 3 {
+		t.Fatalf("Total = %d", v.Total())
+	}
+}
+
+func TestVotesOfCountsSitesOnce(t *testing.T) {
+	v := Uniform("a", "b", "c")
+	// two incarnations of "a" must count a's vote once
+	set := ids.NewPIDSet(pid("a", 1), pid("a", 2), pid("b", 1))
+	if got := v.VotesOf(set); got != 2 {
+		t.Fatalf("VotesOf = %d, want 2", got)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	v := Uniform("a", "b", "c", "d")
+	tests := []struct {
+		name string
+		set  ids.PIDSet
+		want bool
+	}{
+		{"three of four", ids.NewPIDSet(pid("a", 1), pid("b", 1), pid("c", 1)), true},
+		{"exactly half", ids.NewPIDSet(pid("a", 1), pid("b", 1)), false},
+		{"one", ids.NewPIDSet(pid("a", 1)), false},
+		{"unknown site", ids.NewPIDSet(pid("x", 1), pid("y", 1), pid("z", 1)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := v.Majority(tt.set); got != tt.want {
+				t.Errorf("Majority(%v) = %v, want %v", tt.set, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWeightedMajority(t *testing.T) {
+	v, err := New(map[string]int{"a": 3, "b": 1, "c": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Majority(ids.NewPIDSet(pid("a", 1))) {
+		t.Error("a alone holds 3/5 votes: majority")
+	}
+	if v.Majority(ids.NewPIDSet(pid("b", 1), pid("c", 1))) {
+		t.Error("b+c hold 2/5 votes: not a majority")
+	}
+}
+
+func TestNewRWValidation(t *testing.T) {
+	v := Uniform("a", "b", "c")
+	if _, err := NewRW(v, 1, 3); err != nil {
+		t.Errorf("ROWA-style r=1,w=3: %v", err)
+	}
+	if _, err := NewRW(v, 1, 2); err == nil {
+		t.Error("r+w <= total accepted")
+	}
+	if _, err := NewRW(v, 3, 1); err == nil {
+		t.Error("2w <= total accepted")
+	}
+	if _, err := NewRW(v, 0, 3); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestMajorityRW(t *testing.T) {
+	rw := MajorityRW(Uniform("a", "b", "c", "d", "e"))
+	if rw.R != 3 || rw.W != 3 {
+		t.Fatalf("thresholds = %d, %d", rw.R, rw.W)
+	}
+	three := ids.NewPIDSet(pid("a", 1), pid("b", 1), pid("c", 1))
+	two := ids.NewPIDSet(pid("a", 1), pid("b", 1))
+	if !rw.CanRead(three) || !rw.CanWrite(three) {
+		t.Error("three of five must hold both quorums")
+	}
+	if rw.CanRead(two) || rw.CanWrite(two) {
+		t.Error("two of five must hold neither quorum")
+	}
+}
+
+// TestQuorumIntersection is the safety property the paper's file example
+// rests on: two write quorums always share a site, so divergent writes
+// cannot both succeed in concurrent partitions.
+func TestQuorumIntersection(t *testing.T) {
+	sites := []string{"a", "b", "c", "d", "e", "f", "g"}
+	f := func(mask1, mask2 uint8) bool {
+		v := Uniform(sites...)
+		rw := MajorityRW(v)
+		set1, set2 := make(ids.PIDSet), make(ids.PIDSet)
+		for i, s := range sites {
+			if mask1&(1<<i) != 0 {
+				set1.Add(pid(s, 1))
+			}
+			if mask2&(1<<i) != 0 {
+				set2.Add(pid(s, 1))
+			}
+		}
+		if rw.CanWrite(set1) && rw.CanWrite(set2) {
+			if len(set1.Intersect(set2)) == 0 {
+				return false
+			}
+		}
+		// read and write quorums intersect too
+		if rw.CanRead(set1) && rw.CanWrite(set2) {
+			if len(set1.Intersect(set2)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(8)), MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointPartitionsCannotBothWrite(t *testing.T) {
+	// Direct form: any 2-partition of the sites gives at most one side a
+	// write quorum.
+	sites := []string{"a", "b", "c", "d", "e"}
+	rw := MajorityRW(Uniform(sites...))
+	for mask := 0; mask < 1<<len(sites); mask++ {
+		left, right := make(ids.PIDSet), make(ids.PIDSet)
+		for i, s := range sites {
+			if mask&(1<<i) != 0 {
+				left.Add(pid(s, 1))
+			} else {
+				right.Add(pid(s, 1))
+			}
+		}
+		if rw.CanWrite(left) && rw.CanWrite(right) {
+			t.Fatalf("both sides of partition %05b hold write quorums", mask)
+		}
+	}
+}

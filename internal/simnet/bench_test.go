@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// BenchmarkSendPath measures the fabric's enqueue cost (scheduling, loss
+// and partition checks) — the floor under every protocol message.
+func BenchmarkSendPath(b *testing.B) {
+	f := New(Config{Delay: NewUniformDelay(time.Millisecond, time.Millisecond, 1)})
+	defer f.Close()
+	src, err := f.Attach(ids.PID{Site: "a", Inc: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := ids.PID{Site: "b", Inc: 1}
+	if _, err := f.Attach(dst); err != nil {
+		b.Fatal(err)
+	}
+	payload := kindedPayload{k: "data"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(dst, payload)
+	}
+}
+
+// BenchmarkDeliveryRoundTrip measures end-to-end fabric latency overhead
+// with zero modeled delay: enqueue + scheduler + inbox.
+func BenchmarkDeliveryRoundTrip(b *testing.B) {
+	f := New(Config{Delay: NewUniformDelay(0, 0, 1)})
+	defer f.Close()
+	src, err := f.Attach(ids.PID{Site: "a", Inc: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dstPID := ids.PID{Site: "b", Inc: 1}
+	dst, err := f.Attach(dstPID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(dstPID, i)
+		if _, ok := dst.Recv(); !ok {
+			b.Fatal("endpoint closed")
+		}
+	}
+}
+
+// BenchmarkBroadcast measures discovery-style broadcast to many
+// endpoints.
+func BenchmarkBroadcast(b *testing.B) {
+	f := New(Config{Delay: NewUniformDelay(time.Millisecond, time.Millisecond, 1)})
+	defer f.Close()
+	src, err := f.Attach(ids.PID{Site: "src", Inc: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := f.Attach(ids.PID{Site: string(rune('a' + i)), Inc: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Broadcast("hb")
+	}
+}

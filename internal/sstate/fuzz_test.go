@@ -1,0 +1,39 @@
+package sstate
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/modes"
+)
+
+// FuzzDecodeInfo checks the announcement decoder never panics and every
+// accepted payload re-encodes consistently.
+func FuzzDecodeInfo(f *testing.F) {
+	good, err := EncodeInfo(Info{
+		From: ids.PID{Site: "a", Inc: 1},
+		Pred: ids.ViewID{Epoch: 3, Coord: ids.PID{Site: "b", Inc: 2}},
+		Mode: modes.Normal,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("\x01sstate1\x00{}"))
+	f.Add([]byte("\x01sstate1\x00not json"))
+	f.Add([]byte("unrelated"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		info, err := DecodeInfo(payload)
+		if err != nil {
+			return
+		}
+		re, err := EncodeInfo(info)
+		if err != nil {
+			t.Fatalf("re-encode of accepted info failed: %v", err)
+		}
+		again, err := DecodeInfo(re)
+		if err != nil || again != info {
+			t.Fatalf("round trip mismatch: %+v vs %+v (%v)", info, again, err)
+		}
+	})
+}

@@ -1,0 +1,259 @@
+// Package sstate classifies the shared state problem (Section 4 of the
+// paper). When a view change switches a process to S-mode, the processes
+// of the new view v split into:
+//
+//	R_v — processes that were in R-mode before the switch, and
+//	N_v — processes that were in N-mode, further decomposed into
+//	      *clusters*: groups that were in the same view while in N-mode.
+//
+// The necessary conditions:
+//
+//	State transfer:  R_v and N_v both non-empty (one N cluster);
+//	State creation:  N_v empty, R_v non-empty (e.g. after total failure);
+//	State merging:   N_v has >= 2 clusters (concurrent partitions served
+//	                 external operations independently);
+//	Transfer+merging when both last conditions hold.
+//
+// Flat views cannot support this classification with local information —
+// the paper's central criticism — so the package provides two
+// classifiers:
+//
+//	ClassifyEnriched reads the answer off the subview structure of an
+//	enriched view, with zero communication (§6.2);
+//
+//	Protocol implements what flat views force: a full round in which
+//	every member multicasts its predecessor view and mode, costing
+//	n multicasts (n² point-to-point messages) and one round-trip of
+//	latency before the classification is known.
+package sstate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modes"
+)
+
+// Kind is the incarnation of the shared state problem.
+type Kind int
+
+// The problem kinds of Section 4.
+const (
+	// None: a single N cluster and nobody needing a transfer (e.g. the
+	// view only shrank); no shared state problem.
+	None Kind = iota + 1
+	Transfer
+	Creation
+	Merging
+	TransferMerging
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transfer:
+		return "transfer"
+	case Creation:
+		return "creation"
+	case Merging:
+		return "merging"
+	case TransferMerging:
+		return "transfer+merging"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Classification is the outcome: the kind plus the sets that induced it.
+type Classification struct {
+	Kind Kind
+	// NSet is the union of all N clusters.
+	NSet ids.PIDSet
+	// RSet holds the processes that were in R-mode (or are fresh).
+	RSet ids.PIDSet
+	// Clusters decomposes NSet by pre-change co-location, sorted by
+	// smallest member for determinism.
+	Clusters []ids.PIDSet
+}
+
+// classify applies the Section-4 necessary conditions to the computed
+// sets.
+func classify(nClusters []ids.PIDSet, rset ids.PIDSet) Classification {
+	sort.Slice(nClusters, func(i, j int) bool {
+		a, _ := nClusters[i].Min()
+		b, _ := nClusters[j].Min()
+		return a.Less(b)
+	})
+	nset := make(ids.PIDSet)
+	for _, c := range nClusters {
+		for p := range c {
+			nset.Add(p)
+		}
+	}
+	out := Classification{NSet: nset, RSet: rset, Clusters: nClusters}
+	switch {
+	case len(nClusters) == 0 && len(rset) > 0:
+		out.Kind = Creation
+	case len(nClusters) >= 2 && len(rset) > 0:
+		out.Kind = TransferMerging
+	case len(nClusters) >= 2:
+		out.Kind = Merging
+	case len(nClusters) == 1 && len(rset) > 0:
+		out.Kind = Transfer
+	default:
+		out.Kind = None
+	}
+	return out
+}
+
+// WasNormal judges whether a cluster of processes was serving all
+// external operations (N-mode) before the change, given only the cluster
+// composition. It is application-specific: for a quorum-based object it
+// is "the cluster holds a write quorum"; for the look-up database it is
+// "always true". All processes of a group share the same judgment, like
+// the mode function itself.
+type WasNormal func(cluster ids.PIDSet) bool
+
+// ClassifyEnriched classifies the shared state problem locally from an
+// enriched view: each subview is a cluster of processes whose structure
+// proves they were together before the change (P6.3); wasN decides which
+// clusters were serving in N-mode. No communication is needed — the §6.2
+// argument.
+func ClassifyEnriched(v core.EView, wasN WasNormal) Classification {
+	var nClusters []ids.PIDSet
+	rset := make(ids.PIDSet)
+	for _, sv := range v.Structure.Subviews() {
+		members := v.Structure.SubviewMembers(sv)
+		if wasN(members) {
+			nClusters = append(nClusters, members)
+		} else {
+			for p := range members {
+				rset.Add(p)
+			}
+		}
+	}
+	return classify(nClusters, rset)
+}
+
+// ---- the flat-view protocol ----
+
+// Info is one member's announcement in the flat classification protocol:
+// which view it comes from and which mode it was in.
+type Info struct {
+	From ids.PID    `json:"from"`
+	Pred ids.ViewID `json:"pred"`
+	// Mode is the announcing process's mode before the view change.
+	Mode modes.Mode `json:"mode"`
+}
+
+// infoMagic prefixes protocol payloads so applications can separate them
+// from their own traffic.
+var infoMagic = []byte("\x01sstate1\x00")
+
+// EncodeInfo serializes an announcement for multicast.
+func EncodeInfo(info Info) ([]byte, error) {
+	body, err := json.Marshal(info)
+	if err != nil {
+		return nil, fmt.Errorf("sstate: encode info: %w", err)
+	}
+	return append(append([]byte{}, infoMagic...), body...), nil
+}
+
+// IsInfo reports whether a payload is a classification announcement.
+func IsInfo(payload []byte) bool { return bytes.HasPrefix(payload, infoMagic) }
+
+// DecodeInfo parses an announcement.
+func DecodeInfo(payload []byte) (Info, error) {
+	if !IsInfo(payload) {
+		return Info{}, fmt.Errorf("sstate: not an info payload")
+	}
+	var info Info
+	if err := json.Unmarshal(payload[len(infoMagic):], &info); err != nil {
+		return Info{}, fmt.Errorf("sstate: decode info: %w", err)
+	}
+	return info, nil
+}
+
+// Protocol collects announcements for one view until every member has
+// reported, then classifies. This is the "complex and costly" path flat
+// views impose: one multicast per member and a full round of latency.
+// Create a fresh Protocol per installed view; abandon it if another view
+// change arrives first.
+type Protocol struct {
+	view core.EView
+	want ids.PIDSet
+	got  map[ids.PID]Info
+}
+
+// NewProtocol starts a collection round for the given view.
+func NewProtocol(v core.EView) *Protocol {
+	return &Protocol{view: v, want: v.Comp(), got: make(map[ids.PID]Info, v.Size())}
+}
+
+// Announcement builds this process's own announcement for the round.
+func Announcement(self ids.PID, predView ids.ViewID, mode modes.Mode) ([]byte, error) {
+	return EncodeInfo(Info{From: self, Pred: predView, Mode: mode})
+}
+
+// Offer feeds a delivered message into the round. It returns true once
+// every member of the view has reported. Messages from other views or
+// non-protocol payloads are ignored.
+func (pr *Protocol) Offer(m core.MsgEvent) (bool, error) {
+	if m.View != pr.view.ID || !IsInfo(m.Payload) {
+		return pr.complete(), nil
+	}
+	info, err := DecodeInfo(m.Payload)
+	if err != nil {
+		return pr.complete(), err
+	}
+	if !pr.want.Has(info.From) {
+		return pr.complete(), fmt.Errorf("sstate: announcement from non-member %v", info.From)
+	}
+	pr.got[info.From] = info
+	return pr.complete(), nil
+}
+
+func (pr *Protocol) complete() bool { return len(pr.got) == len(pr.want) }
+
+// Missing returns members that have not announced yet.
+func (pr *Protocol) Missing() ids.PIDSet {
+	out := make(ids.PIDSet)
+	for p := range pr.want {
+		if _, ok := pr.got[p]; !ok {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Classify computes the classification from the collected announcements:
+// clusters group the members that were in N-mode by their predecessor
+// view. It is an error to classify before the round is complete.
+func (pr *Protocol) Classify() (Classification, error) {
+	if !pr.complete() {
+		return Classification{}, fmt.Errorf("sstate: round incomplete, missing %v", pr.Missing())
+	}
+	rset := make(ids.PIDSet)
+	byPred := make(map[ids.ViewID]ids.PIDSet)
+	for p, info := range pr.got {
+		if info.Mode == modes.Normal {
+			if byPred[info.Pred] == nil {
+				byPred[info.Pred] = make(ids.PIDSet)
+			}
+			byPred[info.Pred].Add(p)
+		} else {
+			rset.Add(p)
+		}
+	}
+	clusters := make([]ids.PIDSet, 0, len(byPred))
+	for _, c := range byPred {
+		clusters = append(clusters, c)
+	}
+	return classify(clusters, rset), nil
+}

@@ -1,0 +1,118 @@
+package stable
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestOpenReturnsSameStore(t *testing.T) {
+	r := NewRegistry()
+	s1 := r.Open("a")
+	s1.Put("k", []byte("v"))
+	s2 := r.Open("a")
+	if s1 != s2 {
+		t.Fatal("Open returned a different store for the same site")
+	}
+	if v, ok := s2.Get("k"); !ok || string(v) != "v" {
+		t.Fatal("state did not survive reopen")
+	}
+	if s2.Site() != "a" {
+		t.Fatalf("Site = %q", s2.Site())
+	}
+}
+
+func TestPutGetCopies(t *testing.T) {
+	s := NewRegistry().Open("a")
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X' // caller mutation must not leak in
+	v, ok := s.Get("k")
+	if !ok || string(v) != "abc" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	v[0] = 'Y' // returned copy mutation must not leak back
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatal("Get returned shared storage")
+	}
+}
+
+func TestDeleteAndKeys(t *testing.T) {
+	s := NewRegistry().Open("a")
+	s.Put("x", nil)
+	s.Put("y", []byte("1"))
+	s.Delete("x")
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("Delete did not remove key")
+	}
+	keys := s.Keys()
+	if len(keys) != 1 || keys[0] != "y" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestViewLog(t *testing.T) {
+	s := NewRegistry().Open("a")
+	if _, ok := s.LastView(); ok {
+		t.Fatal("LastView on empty log returned ok")
+	}
+	p1 := ids.PID{Site: "a", Inc: 1}
+	v1 := ids.ViewID{Epoch: 1, Coord: p1}
+	v2 := ids.ViewID{Epoch: 2, Coord: p1}
+	members := []ids.PID{p1}
+	s.AppendView(ViewRecord{View: v1, Members: members, Installer: p1})
+	members[0] = ids.PID{Site: "evil", Inc: 9} // must not corrupt the log
+	s.AppendView(ViewRecord{View: v2, Members: []ids.PID{p1}, Installer: p1})
+
+	log := s.ViewLog()
+	if len(log) != 2 || log[0].View != v1 || log[1].View != v2 {
+		t.Fatalf("ViewLog = %v", log)
+	}
+	if log[0].Members[0] != p1 {
+		t.Fatal("AppendView shared caller slice")
+	}
+	last, ok := s.LastView()
+	if !ok || last.View != v2 {
+		t.Fatalf("LastView = %v, %v", last, ok)
+	}
+}
+
+func TestWipe(t *testing.T) {
+	r := NewRegistry()
+	r.Open("a").Put("k", []byte("v"))
+	r.Wipe("a")
+	if _, ok := r.Open("a").Get("k"); ok {
+		t.Fatal("Wipe did not destroy storage")
+	}
+}
+
+func TestSites(t *testing.T) {
+	r := NewRegistry()
+	r.Open("a")
+	r.Open("b")
+	sites := r.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("Sites = %v", sites)
+	}
+}
+
+func TestCrashRecoveryScenario(t *testing.T) {
+	// Simulates: incarnation 1 persists state and views, "crashes";
+	// incarnation 2 reopens the store and sees everything.
+	r := NewRegistry()
+	inc1 := ids.PID{Site: "n1", Inc: 1}
+	st := r.Open("n1")
+	st.Put("file", []byte("content-v3"))
+	st.AppendView(ViewRecord{View: ids.ViewID{Epoch: 5, Coord: inc1}, Members: []ids.PID{inc1}, Installer: inc1})
+
+	// recovery: new incarnation, same site
+	st2 := r.Open("n1")
+	if v, ok := st2.Get("file"); !ok || string(v) != "content-v3" {
+		t.Fatal("permanent state lost across incarnations")
+	}
+	last, ok := st2.LastView()
+	if !ok || last.Installer != inc1 {
+		t.Fatal("view log lost across incarnations")
+	}
+}

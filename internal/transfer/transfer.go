@@ -1,0 +1,323 @@
+// Package transfer implements an Isis-style state transfer tool
+// (Section 5 of the paper): the application declares what constitutes its
+// shared state through marshal/apply callbacks, and the tool moves it
+// from an up-to-date donor to a process entering the computation.
+//
+// Two strategies reproduce the paper's discussion:
+//
+//   - Blocking: the entire state is transferred before the receiver
+//     resumes external operations — simple, but the resume time grows
+//     with the state size, which the paper notes "might be infeasible"
+//     for large states;
+//
+//   - Split: a small critical piece is transferred synchronously and the
+//     bulk streams over afterwards, concurrently with application
+//     activity in the new view — the alternative the paper (and [1])
+//     advocates for file systems and databases.
+//
+// The tool is reactive: the application owns its event loop and feeds
+// transfer messages into HandleMessage; the tool answers requests and
+// tracks progress. Transfer traffic travels as unicasts within the
+// current view, so a view change aborts an in-progress transfer cleanly
+// (the application re-requests in the new view, per its classifier).
+package transfer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Strategy selects how the donor ships the state.
+type Strategy int
+
+// The transfer strategies.
+const (
+	// Blocking ships everything as bulk; the receiver should not resume
+	// externals until Done.
+	Blocking Strategy = iota + 1
+	// Split ships the critical piece first (after which the receiver may
+	// resume externals), then streams the bulk.
+	Split
+)
+
+// String renders the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Blocking:
+		return "blocking"
+	case Split:
+		return "split"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// App is the application side of the tool: what Isis asked programmers to
+// define — which program state is shared state.
+type App interface {
+	// MarshalCritical serializes the small piece that must transfer in
+	// synchrony with the join (Split only; Blocking ignores it).
+	MarshalCritical() ([]byte, error)
+	// MarshalBulk serializes the (possibly large) remainder.
+	MarshalBulk() ([]byte, error)
+	// ApplyCritical installs a received critical piece.
+	ApplyCritical([]byte) error
+	// ApplyBulk installs a received bulk state.
+	ApplyBulk([]byte) error
+}
+
+// Options configures a Tool.
+type Options struct {
+	// Strategy defaults to Blocking.
+	Strategy Strategy
+	// ChunkSize is the bulk chunk size in bytes (default 4096).
+	ChunkSize int
+}
+
+// Tool drives transfers for one process. Safe for concurrent use: the
+// typical application handles messages on its event goroutine while
+// issuing (re-)requests from elsewhere.
+type Tool struct {
+	p    *core.Process
+	app  App
+	opts Options
+
+	// mu guards the receiver state.
+	mu  sync.Mutex
+	rcv *rcvState
+}
+
+type rcvState struct {
+	donor        ids.PID
+	view         ids.ViewID
+	criticalDone bool
+	chunks       [][]byte
+	total        int
+	done         bool
+}
+
+// New creates a tool for p.
+func New(p *core.Process, app App, opts Options) *Tool {
+	if opts.Strategy == 0 {
+		opts.Strategy = Blocking
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 4096
+	}
+	return &Tool{p: p, app: app, opts: opts}
+}
+
+// Progress reports the receiver's transfer progress.
+type Progress struct {
+	// CriticalDone is true once the critical piece is applied (Split) or
+	// unconditionally for Blocking donors that sent no critical piece.
+	CriticalDone bool
+	// Received / Total count bulk chunks.
+	Received, Total int
+	// Done is true when the whole state is applied.
+	Done bool
+}
+
+// envelope is the wire format of transfer messages.
+type envelope struct {
+	Type     string  `json:"t"` // "req", "crit", "chunk"
+	To       ids.PID `json:"to"`
+	Strategy int     `json:"strat,omitempty"`
+	Seq      int     `json:"seq,omitempty"`
+	Total    int     `json:"total,omitempty"`
+	Data     []byte  `json:"data,omitempty"`
+}
+
+var magic = []byte("\x01xfer1\x00")
+
+func encode(env envelope) ([]byte, error) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("transfer: encode: %w", err)
+	}
+	return append(append([]byte{}, magic...), body...), nil
+}
+
+// IsTransferMsg reports whether a payload belongs to the transfer tool.
+func IsTransferMsg(payload []byte) bool { return bytes.HasPrefix(payload, magic) }
+
+func decode(payload []byte) (envelope, error) {
+	var env envelope
+	if !IsTransferMsg(payload) {
+		return env, fmt.Errorf("transfer: not a transfer payload")
+	}
+	if err := json.Unmarshal(payload[len(magic):], &env); err != nil {
+		return env, fmt.Errorf("transfer: decode: %w", err)
+	}
+	return env, nil
+}
+
+// Request asks donor for the shared state in the current view. Any
+// in-progress reception is abandoned.
+func (t *Tool) Request(donor ids.PID) error {
+	view := t.p.CurrentView()
+	payload, err := encode(envelope{Type: "req", To: donor, Strategy: int(t.opts.Strategy)})
+	if err != nil {
+		return err
+	}
+	if err := t.p.Unicast(donor, payload); err != nil {
+		return fmt.Errorf("transfer: request to %v: %w", donor, err)
+	}
+	t.mu.Lock()
+	t.rcv = &rcvState{donor: donor, view: view.ID}
+	t.mu.Unlock()
+	return nil
+}
+
+// Receiving reports whether a reception is in progress.
+func (t *Tool) Receiving() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rcv != nil && !t.rcv.done
+}
+
+// Abort drops any in-progress reception (call on view changes).
+func (t *Tool) Abort() {
+	t.mu.Lock()
+	t.rcv = nil
+	t.mu.Unlock()
+}
+
+// HandleMessage feeds a delivered message into the tool. Non-transfer
+// messages are ignored (ok=false). As a donor it answers requests; as a
+// receiver it applies critical/bulk pieces and reports progress.
+func (t *Tool) HandleMessage(m core.MsgEvent) (Progress, bool, error) {
+	if !IsTransferMsg(m.Payload) {
+		return Progress{}, false, nil
+	}
+	env, err := decode(m.Payload)
+	if err != nil {
+		return Progress{}, true, err
+	}
+	switch env.Type {
+	case "req":
+		return Progress{}, true, t.serve(m.From, Strategy(env.Strategy))
+	case "crit":
+		return t.onCritical(m, env)
+	case "chunk":
+		return t.onChunk(m, env)
+	default:
+		return Progress{}, true, fmt.Errorf("transfer: unknown envelope type %q", env.Type)
+	}
+}
+
+// serve ships the state to a requester according to its strategy.
+func (t *Tool) serve(to ids.PID, strat Strategy) error {
+	if strat == Split {
+		crit, err := t.app.MarshalCritical()
+		if err != nil {
+			return fmt.Errorf("transfer: marshal critical: %w", err)
+		}
+		payload, err := encode(envelope{Type: "crit", To: to, Data: crit})
+		if err != nil {
+			return err
+		}
+		if err := t.p.Unicast(to, payload); err != nil {
+			return fmt.Errorf("transfer: send critical: %w", err)
+		}
+	}
+	bulk, err := t.app.MarshalBulk()
+	if err != nil {
+		return fmt.Errorf("transfer: marshal bulk: %w", err)
+	}
+	chunks := chunk(bulk, t.opts.ChunkSize)
+	for i, c := range chunks {
+		payload, err := encode(envelope{Type: "chunk", To: to, Seq: i, Total: len(chunks), Data: c})
+		if err != nil {
+			return err
+		}
+		if err := t.p.Unicast(to, payload); err != nil {
+			return fmt.Errorf("transfer: send chunk %d/%d: %w", i+1, len(chunks), err)
+		}
+	}
+	return nil
+}
+
+func (t *Tool) onCritical(m core.MsgEvent, env envelope) (Progress, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rcv == nil || m.From != t.rcv.donor || m.View != t.rcv.view {
+		return Progress{}, true, nil // stale or unsolicited
+	}
+	if err := t.app.ApplyCritical(env.Data); err != nil {
+		return t.progressLocked(), true, fmt.Errorf("transfer: apply critical: %w", err)
+	}
+	t.rcv.criticalDone = true
+	return t.progressLocked(), true, nil
+}
+
+func (t *Tool) onChunk(m core.MsgEvent, env envelope) (Progress, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rcv == nil || m.From != t.rcv.donor || m.View != t.rcv.view {
+		return Progress{}, true, nil
+	}
+	if t.rcv.total == 0 {
+		t.rcv.total = env.Total
+		t.rcv.chunks = make([][]byte, env.Total)
+	}
+	if env.Seq < 0 || env.Seq >= t.rcv.total || env.Total != t.rcv.total {
+		return t.progressLocked(), true, fmt.Errorf("transfer: bad chunk %d/%d", env.Seq, env.Total)
+	}
+	// Force non-nil so an empty chunk (omitted by JSON) still marks its
+	// slot as received.
+	t.rcv.chunks[env.Seq] = append([]byte{}, env.Data...)
+	for _, c := range t.rcv.chunks {
+		if c == nil {
+			return t.progressLocked(), true, nil // still incomplete
+		}
+	}
+	bulk := bytes.Join(t.rcv.chunks, nil)
+	if err := t.app.ApplyBulk(bulk); err != nil {
+		return t.progressLocked(), true, fmt.Errorf("transfer: apply bulk: %w", err)
+	}
+	t.rcv.done = true
+	return t.progressLocked(), true, nil
+}
+
+// progressLocked reads progress; t.mu must be held.
+func (t *Tool) progressLocked() Progress {
+	if t.rcv == nil {
+		return Progress{}
+	}
+	received := 0
+	for _, c := range t.rcv.chunks {
+		if c != nil {
+			received++
+		}
+	}
+	return Progress{
+		CriticalDone: t.rcv.criticalDone,
+		Received:     received,
+		Total:        t.rcv.total,
+		Done:         t.rcv.done,
+	}
+}
+
+// chunk splits b into pieces of at most size bytes (at least one piece,
+// possibly empty, so the receiver always observes completion).
+func chunk(b []byte, size int) [][]byte {
+	if len(b) == 0 {
+		return [][]byte{{}}
+	}
+	var out [][]byte
+	for len(b) > 0 {
+		n := size
+		if n > len(b) {
+			n = len(b)
+		}
+		out = append(out, b[:n])
+		b = b[n:]
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package transfer
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vstest"
+)
+
+// blobApp is a trivial App: the bulk state is a blob, the critical piece
+// a small header.
+type blobApp struct {
+	mu       sync.Mutex
+	critical []byte
+	bulk     []byte
+}
+
+func (a *blobApp) MarshalCritical() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]byte{}, a.critical...), nil
+}
+
+func (a *blobApp) MarshalBulk() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]byte{}, a.bulk...), nil
+}
+
+func (a *blobApp) ApplyCritical(b []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.critical = append([]byte{}, b...)
+	return nil
+}
+
+func (a *blobApp) ApplyBulk(b []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bulk = append([]byte{}, b...)
+	return nil
+}
+
+func (a *blobApp) snapshot() (crit, bulk []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]byte{}, a.critical...), append([]byte{}, a.bulk...)
+}
+
+// pump drives a tool from a process's event stream, reporting each
+// progress update.
+func pump(t *testing.T, p *core.Process, tool *Tool, progress chan<- Progress) {
+	t.Helper()
+	go func() {
+		for ev := range p.Events() {
+			m, ok := ev.(core.MsgEvent)
+			if !ok {
+				continue
+			}
+			pr, handled, err := tool.HandleMessage(m)
+			if err != nil {
+				t.Errorf("HandleMessage at %v: %v", p.PID(), err)
+			}
+			if handled && progress != nil {
+				progress <- pr
+			}
+		}
+	}()
+}
+
+func runTransfer(t *testing.T, strategy Strategy, bulkSize, chunkSize int) (critFirst bool) {
+	t.Helper()
+	n := vstest.NewNet(t, int64(42+int(strategy)))
+	procs := n.StartRawN(2, vstest.FastOptions())
+	donor, joiner := procs[0], procs[1]
+	vstest.WaitConverged(t, procs, 5*time.Second)
+
+	donorApp := &blobApp{critical: []byte("hdr-v7"), bulk: bytes.Repeat([]byte("x"), bulkSize)}
+	joinerApp := &blobApp{}
+	donorTool := New(donor, donorApp, Options{Strategy: strategy, ChunkSize: chunkSize})
+	joinerTool := New(joiner, joinerApp, Options{Strategy: strategy, ChunkSize: chunkSize})
+
+	progress := make(chan Progress, 1024)
+	pump(t, donor, donorTool, nil)
+	pump(t, joiner, joinerTool, progress)
+
+	if err := joinerTool.Request(donor.PID()); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	// A view change (e.g. a false suspicion under test load) legitimately
+	// drops in-flight transfer traffic; the application-level contract is
+	// to re-request, so the test does the same.
+	retry := time.NewTicker(500 * time.Millisecond)
+	defer retry.Stop()
+	sawCriticalBeforeDone := false
+	for {
+		select {
+		case <-retry.C:
+			_ = joinerTool.Request(donor.PID())
+		case pr := <-progress:
+			if pr.CriticalDone && !pr.Done {
+				sawCriticalBeforeDone = true
+			}
+			if pr.Done {
+				crit, bulk := joinerApp.snapshot()
+				if !bytes.Equal(bulk, donorApp.bulk) {
+					t.Fatalf("bulk mismatch: got %d bytes, want %d", len(bulk), len(donorApp.bulk))
+				}
+				if strategy == Split && !bytes.Equal(crit, []byte("hdr-v7")) {
+					t.Fatalf("critical mismatch: %q", crit)
+				}
+				if joinerTool.Receiving() {
+					t.Fatal("Receiving still true after Done")
+				}
+				return sawCriticalBeforeDone
+			}
+		case <-deadline:
+			t.Fatal("transfer did not complete")
+		}
+	}
+}
+
+func TestBlockingTransferMovesBulk(t *testing.T) {
+	runTransfer(t, Blocking, 64*1024, 4096)
+}
+
+func TestSplitTransferDeliversCriticalFirst(t *testing.T) {
+	critFirst := runTransfer(t, Split, 64*1024, 4096)
+	if !critFirst {
+		t.Fatal("split transfer did not surface the critical piece before completion")
+	}
+}
+
+func TestEmptyBulkStillCompletes(t *testing.T) {
+	runTransfer(t, Blocking, 0, 4096)
+}
+
+func TestSingleChunk(t *testing.T) {
+	runTransfer(t, Split, 100, 4096)
+}
+
+func TestChunkHelper(t *testing.T) {
+	if got := chunk(nil, 4); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("chunk(nil) = %v", got)
+	}
+	got := chunk([]byte("abcdefgh"), 3)
+	if len(got) != 3 || string(got[0]) != "abc" || string(got[2]) != "gh" {
+		t.Fatalf("chunk = %q", got)
+	}
+}
+
+func TestAbortDropsReception(t *testing.T) {
+	n := vstest.NewNet(t, 77)
+	procs := n.StartRawN(2, vstest.FastOptions())
+	vstest.WaitConverged(t, procs, 5*time.Second)
+	app := &blobApp{}
+	tool := New(procs[1], app, Options{})
+	if err := tool.Request(procs[0].PID()); err != nil {
+		t.Fatal(err)
+	}
+	if !tool.Receiving() {
+		t.Fatal("Receiving false after Request")
+	}
+	tool.Abort()
+	if tool.Receiving() {
+		t.Fatal("Receiving true after Abort")
+	}
+}
+
+func TestIsTransferMsg(t *testing.T) {
+	payload, err := encode(envelope{Type: "req"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsTransferMsg(payload) {
+		t.Fatal("IsTransferMsg false for envelope")
+	}
+	if IsTransferMsg([]byte("app data")) {
+		t.Fatal("IsTransferMsg true for app data")
+	}
+	if _, err := decode([]byte("junk")); err == nil {
+		t.Fatal("decode accepted junk")
+	}
+}
+
+// failingApp errors on every callback, driving the donor/receiver error
+// paths.
+type failingApp struct{}
+
+func (failingApp) MarshalCritical() ([]byte, error) { return nil, fmt.Errorf("no critical") }
+func (failingApp) MarshalBulk() ([]byte, error)     { return nil, fmt.Errorf("no bulk") }
+func (failingApp) ApplyCritical([]byte) error       { return fmt.Errorf("reject critical") }
+func (failingApp) ApplyBulk([]byte) error           { return fmt.Errorf("reject bulk") }
+
+func TestDonorMarshalErrorsSurface(t *testing.T) {
+	n := vstest.NewNet(t, 78)
+	procs := n.StartRawN(2, vstest.FastOptions())
+	vstest.WaitConverged(t, procs, 5*time.Second)
+	donorTool := New(procs[0], failingApp{}, Options{Strategy: Split})
+	joinerTool := New(procs[1], &blobApp{}, Options{Strategy: Split})
+
+	errs := make(chan error, 16)
+	go func() {
+		for ev := range procs[0].Events() {
+			if m, ok := ev.(core.MsgEvent); ok {
+				if _, handled, err := donorTool.HandleMessage(m); handled && err != nil {
+					errs <- err
+				}
+			}
+		}
+	}()
+	go func() {
+		for range procs[1].Events() {
+		}
+	}()
+	if err := joinerTool.Request(procs[0].PID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("nil error surfaced")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("donor marshal error never surfaced")
+	}
+}
+
+func TestReceiverApplyErrorsSurface(t *testing.T) {
+	n := vstest.NewNet(t, 79)
+	procs := n.StartRawN(2, vstest.FastOptions())
+	vstest.WaitConverged(t, procs, 5*time.Second)
+	donorApp := &blobApp{critical: []byte("hdr"), bulk: []byte("data")}
+	donorTool := New(procs[0], donorApp, Options{Strategy: Split})
+	joinerTool := New(procs[1], failingApp{}, Options{Strategy: Split})
+
+	go func() {
+		for ev := range procs[0].Events() {
+			if m, ok := ev.(core.MsgEvent); ok {
+				_, _, _ = donorTool.HandleMessage(m)
+			}
+		}
+	}()
+	errs := make(chan error, 16)
+	go func() {
+		for ev := range procs[1].Events() {
+			if m, ok := ev.(core.MsgEvent); ok {
+				if _, handled, err := joinerTool.HandleMessage(m); handled && err != nil {
+					errs <- err
+				}
+			}
+		}
+	}()
+	if err := joinerTool.Request(procs[0].PID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("nil error surfaced")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver apply error never surfaced")
+	}
+}
+
+func TestUnsolicitedAndUnknownEnvelopes(t *testing.T) {
+	n := vstest.NewNet(t, 80)
+	procs := n.StartRawN(2, vstest.FastOptions())
+	vstest.WaitConverged(t, procs, 5*time.Second)
+	tool := New(procs[1], &blobApp{}, Options{})
+
+	// Unsolicited chunk (no Request outstanding): handled, ignored.
+	chunkPayload, err := encode(envelope{Type: "chunk", Seq: 0, Total: 1, Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, handled, err := tool.HandleMessage(core.MsgEvent{From: procs[0].PID(), Payload: chunkPayload})
+	if !handled || err != nil || pr.Done {
+		t.Fatalf("unsolicited chunk: handled=%v err=%v pr=%+v", handled, err, pr)
+	}
+	// Unknown envelope type: handled with an error.
+	bogus, err := encode(envelope{Type: "???"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, handled, err := tool.HandleMessage(core.MsgEvent{Payload: bogus}); !handled || err == nil {
+		t.Fatalf("unknown envelope: handled=%v err=%v", handled, err)
+	}
+	// Non-transfer payload: not handled.
+	if _, handled, _ := tool.HandleMessage(core.MsgEvent{Payload: []byte("app data")}); handled {
+		t.Fatal("app payload claimed as transfer traffic")
+	}
+	// Corrupt transfer payload: handled with an error.
+	if _, handled, err := tool.HandleMessage(core.MsgEvent{Payload: append(append([]byte{}, magic...), "not json"...)}); !handled || err == nil {
+		t.Fatalf("corrupt payload: handled=%v err=%v", handled, err)
+	}
+}
+
+func TestBadChunkIndicesRejected(t *testing.T) {
+	n := vstest.NewNet(t, 81)
+	procs := n.StartRawN(2, vstest.FastOptions())
+	vstest.WaitConverged(t, procs, 5*time.Second)
+	tool := New(procs[1], &blobApp{}, Options{})
+	if err := tool.Request(procs[0].PID()); err != nil {
+		t.Fatal(err)
+	}
+	view := procs[1].CurrentView().ID
+	mk := func(seq, total int) core.MsgEvent {
+		payload, err := encode(envelope{Type: "chunk", Seq: seq, Total: total, Data: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.MsgEvent{From: procs[0].PID(), View: view, Payload: payload}
+	}
+	if _, _, err := tool.HandleMessage(mk(0, 2)); err != nil {
+		t.Fatalf("first chunk: %v", err)
+	}
+	if _, _, err := tool.HandleMessage(mk(5, 2)); err == nil {
+		t.Fatal("out-of-range seq accepted")
+	}
+	if _, _, err := tool.HandleMessage(mk(1, 9)); err == nil {
+		t.Fatal("inconsistent total accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Blocking.String() != "blocking" || Split.String() != "split" || Strategy(9).String() == "" {
+		t.Fatal("strategy strings")
+	}
+}

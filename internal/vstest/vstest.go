@@ -1,0 +1,265 @@
+// Package vstest provides the shared test harness for integration tests
+// and benchmarks across the stack: a fabric + stable-storage "cluster",
+// event sinks, and convergence helpers. It is a test-support package (it
+// takes testing.TB), kept out of _test files so that every package's
+// tests and the root benchmarks can share it.
+package vstest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/stable"
+)
+
+// FastOptions returns protocol options tuned for simulation speed.
+func FastOptions() core.Options {
+	return core.Options{
+		Group:          "g",
+		HeartbeatEvery: 3 * time.Millisecond,
+		SuspectAfter:   18 * time.Millisecond,
+		Tick:           2 * time.Millisecond,
+		ProposeTimeout: 30 * time.Millisecond,
+		Enriched:       true,
+		LogViews:       true,
+	}
+}
+
+// Net is a simulated cluster: fabric, per-site stable storage, and the
+// set of started processes with their event sinks.
+type Net struct {
+	TB     testing.TB
+	Fabric *simnet.Fabric
+	Reg    *stable.Registry
+
+	mu    sync.Mutex
+	procs map[string]*core.Process
+	sinks map[ids.PID]*Sink
+}
+
+// NewNet creates a cluster with a seeded low-latency fabric.
+func NewNet(tb testing.TB, seed int64) *Net { return NewNetLossy(tb, seed, 0) }
+
+// NewNetLossy creates a cluster whose fabric drops each message with the
+// given probability.
+func NewNetLossy(tb testing.TB, seed int64, lossRate float64) *Net {
+	tb.Helper()
+	f := simnet.New(simnet.Config{
+		Delay:    simnet.NewUniformDelay(50*time.Microsecond, 400*time.Microsecond, seed+1),
+		Seed:     seed,
+		LossRate: lossRate,
+	})
+	n := &Net{
+		TB:     tb,
+		Fabric: f,
+		Reg:    stable.NewRegistry(),
+		procs:  make(map[string]*core.Process),
+		sinks:  make(map[ids.PID]*Sink),
+	}
+	tb.Cleanup(f.Close)
+	return n
+}
+
+// Start boots a process at site with the given options and attaches an
+// event sink.
+func (n *Net) Start(site string, opts core.Options) *core.Process {
+	n.TB.Helper()
+	p, err := core.Start(n.Fabric, n.Reg, site, opts)
+	if err != nil {
+		n.TB.Fatalf("Start(%s): %v", site, err)
+	}
+	sk := &Sink{}
+	go sk.run(p.Events())
+	n.mu.Lock()
+	n.procs[site] = p
+	n.sinks[p.PID()] = sk
+	n.mu.Unlock()
+	return p
+}
+
+// StartRaw boots a process without attaching an event sink; the caller
+// owns the event stream (e.g. to drive an application layer).
+func (n *Net) StartRaw(site string, opts core.Options) *core.Process {
+	n.TB.Helper()
+	p, err := core.Start(n.Fabric, n.Reg, site, opts)
+	if err != nil {
+		n.TB.Fatalf("Start(%s): %v", site, err)
+	}
+	n.mu.Lock()
+	n.procs[site] = p
+	n.mu.Unlock()
+	return p
+}
+
+// StartRawN boots count sink-less processes at sites "a", "b", ....
+func (n *Net) StartRawN(count int, opts core.Options) []*core.Process {
+	n.TB.Helper()
+	out := make([]*core.Process, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, n.StartRaw(SiteName(i), opts))
+	}
+	return out
+}
+
+// StartN boots count processes at sites "a", "b", ... with shared options.
+func (n *Net) StartN(count int, opts core.Options) []*core.Process {
+	n.TB.Helper()
+	out := make([]*core.Process, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, n.Start(SiteName(i), opts))
+	}
+	return out
+}
+
+// SiteName maps an index to a site name ("a".."z", then "s26"...).
+func SiteName(i int) string {
+	if i < 26 {
+		return string(rune('a' + i))
+	}
+	return fmt.Sprintf("s%d", i)
+}
+
+// Proc returns the latest process started at site (nil if none).
+func (n *Net) Proc(site string) *core.Process {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.procs[site]
+}
+
+// Sink returns p's event sink.
+func (n *Net) Sink(p *core.Process) *Sink {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sinks[p.PID()]
+}
+
+// Sink drains one process's event stream into an inspectable log.
+type Sink struct {
+	mu     sync.Mutex
+	events []core.Event
+}
+
+func (s *Sink) run(ch <-chan core.Event) {
+	for ev := range ch {
+		s.mu.Lock()
+		s.events = append(s.events, ev)
+		s.mu.Unlock()
+	}
+}
+
+// Events returns a snapshot of all events in arrival order.
+func (s *Sink) Events() []core.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]core.Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Views returns the installed views in order.
+func (s *Sink) Views() []core.EView {
+	var out []core.EView
+	for _, ev := range s.Events() {
+		if v, ok := ev.(core.ViewEvent); ok {
+			out = append(out, v.EView)
+		}
+	}
+	return out
+}
+
+// Msgs returns delivered messages grouped by delivery view.
+func (s *Sink) Msgs() map[ids.ViewID][]core.MsgEvent {
+	out := make(map[ids.ViewID][]core.MsgEvent)
+	for _, ev := range s.Events() {
+		if m, ok := ev.(core.MsgEvent); ok {
+			out[m.View] = append(out[m.View], m)
+		}
+	}
+	return out
+}
+
+// EChanges returns applied e-view changes in order.
+func (s *Sink) EChanges() []core.EChangeEvent {
+	var out []core.EChangeEvent
+	for _, ev := range s.Events() {
+		if e, ok := ev.(core.EChangeEvent); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WaitConverged blocks until all given processes have installed one
+// common view containing exactly them.
+func WaitConverged(tb testing.TB, procs []*core.Process, timeout time.Duration) core.EView {
+	tb.Helper()
+	want := make(ids.PIDSet, len(procs))
+	for _, p := range procs {
+		want.Add(p.PID())
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		v0 := procs[0].CurrentView()
+		ok := v0.Comp().Equal(want)
+		if ok {
+			for _, p := range procs[1:] {
+				v := p.CurrentView()
+				if v.ID != v0.ID || !v.Comp().Equal(want) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return v0
+		}
+		if time.Now().After(deadline) {
+			var state string
+			for _, p := range procs {
+				v := p.CurrentView()
+				state += fmt.Sprintf("\n  %v: %v %v", p.PID(), v.ID, v.Members)
+			}
+			tb.Fatalf("convergence timeout; want %v, state:%s", want, state)
+			return core.EView{}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Eventually polls cond until true or the timeout elapses (fatal).
+func Eventually(tb testing.TB, timeout time.Duration, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("timeout waiting for %s", what)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// WaitView polls p's current view until pred holds.
+func WaitView(tb testing.TB, p *core.Process, timeout time.Duration, what string, pred func(core.EView) bool) core.EView {
+	tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := p.CurrentView()
+		if pred(v) {
+			return v
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("%v: timeout waiting for %s; current view %v %v", p.PID(), what, v.ID, v.Members)
+			return core.EView{}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
