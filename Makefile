@@ -1,0 +1,27 @@
+# Developer entry points. CI and the tier-1 gate run `make check`.
+
+GO ?= go
+
+.PHONY: build test check race bench vet
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the race detector over the whole tree, including the
+# instrumented protocol loop (internal/obs's live-group integration
+# test) and the lock-free metrics under concurrency.
+race:
+	$(GO) test -race ./...
+
+# check is the full verification: vet + race across every package.
+check: build
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./...

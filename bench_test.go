@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/transfer"
+	"repro/internal/vstest"
 )
 
 // BenchmarkF1ModeTransitions drives the Figure-1 mode machine through a
@@ -195,6 +197,50 @@ func BenchmarkE6ChurnAvailability(b *testing.B) {
 			b.ReportMetric(reconciles/float64(b.N), "reconciles")
 		})
 	}
+}
+
+// BenchmarkMulticastObserverOverhead measures the cost of the
+// observability layer on the multicast hot path: the same stable
+// three-member group pushing messages end to end, with no observer (the
+// run-time's no-op fast path), with a full metrics+trace Collector, and
+// with the Collector teed behind the property checker's Recorder. The
+// allocs/op and ns/op deltas between the sub-benchmarks are the
+// instrumentation overhead.
+func BenchmarkMulticastObserverOverhead(b *testing.B) {
+	run := func(b *testing.B, observer Observer) {
+		net := vstest.NewNet(b, 11)
+		opts := vstest.FastOptions()
+		opts.LogViews = false
+		opts.Observer = observer
+		procs := net.StartRawN(3, opts)
+		for _, p := range procs {
+			p := p
+			go func() {
+				for range p.Events() {
+				}
+			}()
+		}
+		vstest.WaitConverged(b, procs, 15*time.Second)
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := procs[i%3].Multicast([]byte("bench")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	}
+
+	b.Run("nop", func(b *testing.B) { run(b, nil) })
+	b.Run("collector", func(b *testing.B) {
+		coll := obs.NewCollector(obs.NewRegistry(), obs.NewTracer(1024))
+		run(b, coll)
+	})
+	b.Run("collector+recorder", func(b *testing.B) {
+		coll := obs.NewCollector(obs.NewRegistry(), obs.NewTracer(1024))
+		run(b, obs.Tee(NewRecorder(), coll))
+	})
 }
 
 // BenchmarkE5EnrichedOverhead measures multicast throughput and join

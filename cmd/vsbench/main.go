@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	go run ./cmd/vsbench              # run everything
-//	go run ./cmd/vsbench -exp e1      # one experiment
-//	go run ./cmd/vsbench -seed 7      # different seed
-//	go run ./cmd/vsbench -quick       # smaller sweeps
+//	go run ./cmd/vsbench                        # run everything
+//	go run ./cmd/vsbench -exp e1                # one experiment
+//	go run ./cmd/vsbench -seed 7                # different seed
+//	go run ./cmd/vsbench -quick                 # smaller sweeps
+//	go run ./cmd/vsbench -exp e1 -metrics m.json  # dump a metrics snapshot
+//
+// With -metrics, every protocol stack the experiments start is
+// instrumented with an obs.Collector sharing one registry, and a JSON
+// snapshot (counters, gauges, histograms — see the README
+// "Observability" section for the schema) is written to the given file
+// when the run completes.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/transfer"
 )
 
@@ -27,9 +35,25 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6")
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	flag.Parse()
 
-	runners := map[string]func(int64, bool) error{
+	timing := experiments.FastTiming()
+	var reg *obs.Registry
+	var metricsFile *os.File
+	if *metrics != "" {
+		// Open the output up front so a bad path fails before the run,
+		// not after it.
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatalf("vsbench: %v", err)
+		}
+		metricsFile = f
+		reg = obs.NewRegistry()
+		timing.Observer = obs.NewCollector(reg, nil)
+	}
+
+	runners := map[string]func(experiments.Timing, int64, bool) error{
 		"f1": runF1, "f2": runF2, "f3": runF3,
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5, "e6": runE6,
 	}
@@ -38,19 +62,29 @@ func main() {
 	which := strings.ToLower(*exp)
 	if which == "all" {
 		for _, name := range order {
-			if err := runners[name](*seed, *quick); err != nil {
+			if err := runners[name](timing, *seed, *quick); err != nil {
 				log.Fatalf("vsbench: %s: %v", name, err)
 			}
 		}
-		return
+	} else {
+		r, ok := runners[which]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want all|%s)\n", which, strings.Join(order, "|"))
+			os.Exit(2)
+		}
+		if err := r(timing, *seed, *quick); err != nil {
+			log.Fatalf("vsbench: %s: %v", which, err)
+		}
 	}
-	r, ok := runners[which]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all|%s)\n", which, strings.Join(order, "|"))
-		os.Exit(2)
-	}
-	if err := r(*seed, *quick); err != nil {
-		log.Fatalf("vsbench: %s: %v", which, err)
+
+	if reg != nil {
+		if err := reg.WriteJSON(metricsFile); err != nil {
+			log.Fatalf("vsbench: %v", err)
+		}
+		if err := metricsFile.Close(); err != nil {
+			log.Fatalf("vsbench: %v", err)
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", *metrics)
 	}
 }
 
@@ -59,10 +93,10 @@ func header(title, source string) {
 	fmt.Printf("    paper: %s\n\n", source)
 }
 
-func runF1(seed int64, _ bool) error {
+func runF1(timing experiments.Timing, seed int64, _ bool) error {
 	header("F1 — execution modes of a group object process",
 		"Figure 1: N/R/S modes with Failure, Repair, Reconfigure, Reconcile transitions")
-	rows, err := experiments.RunF1(experiments.FastTiming(), seed)
+	rows, err := experiments.RunF1(timing, seed)
 	if err != nil {
 		return err
 	}
@@ -73,10 +107,10 @@ func runF1(seed int64, _ bool) error {
 	return nil
 }
 
-func runF2(seed int64, _ bool) error {
+func runF2(timing experiments.Timing, seed int64, _ bool) error {
 	header("F2 — views, subviews and sv-sets across a partition and a merge",
 		"Figure 2: structure shrinks on failures, survives merges as distinct clusters (P6.3)")
-	rows, violations, err := experiments.RunF2(experiments.FastTiming(), seed)
+	rows, violations, err := experiments.RunF2(timing, seed)
 	if err != nil {
 		return err
 	}
@@ -88,7 +122,7 @@ func runF2(seed int64, _ bool) error {
 	return nil
 }
 
-func runF3(seed int64, quick bool) error {
+func runF3(timing experiments.Timing, seed int64, quick bool) error {
 	header("F3 — e-view changes within a view",
 		"Figure 3: SV-SetMerge then SubviewMerge, totally ordered at all members (P6.1, P6.2)")
 	sizes := []int{3, 5, 8}
@@ -97,7 +131,7 @@ func runF3(seed int64, quick bool) error {
 	}
 	fmt.Println(experiments.F3Header)
 	for _, n := range sizes {
-		row, err := experiments.RunF3(n, experiments.FastTiming(), seed)
+		row, err := experiments.RunF3(n, timing, seed)
 		if err != nil {
 			return err
 		}
@@ -106,7 +140,7 @@ func runF3(seed int64, quick bool) error {
 	return nil
 }
 
-func runE1(seed int64, quick bool) error {
+func runE1(timing experiments.Timing, seed int64, quick bool) error {
 	header("E1 — view changes to absorb m members",
 		"§5: two m-member partitions merging cost m view changes per side under Isis's grow-by-one rule, when one suffices")
 	ms := []int{2, 4, 8, 16}
@@ -115,7 +149,7 @@ func runE1(seed int64, quick bool) error {
 	}
 	fmt.Println(experiments.E1Header)
 	for _, m := range ms {
-		row, err := experiments.RunE1(m, experiments.FastTiming(), seed)
+		row, err := experiments.RunE1(m, timing, seed)
 		if err != nil {
 			return err
 		}
@@ -124,7 +158,7 @@ func runE1(seed int64, quick bool) error {
 	return nil
 }
 
-func runE2(seed int64, quick bool) error {
+func runE2(timing experiments.Timing, seed int64, quick bool) error {
 	header("E2 — classifying the shared state problem after a repair",
 		"§4: flat views classify 'only through complex and costly protocols'; §6.2: enriched views classify locally")
 	ns := []int{3, 5, 7, 9}
@@ -133,7 +167,7 @@ func runE2(seed int64, quick bool) error {
 	}
 	fmt.Println(experiments.E2Header)
 	for _, n := range ns {
-		row, err := experiments.RunE2(n, experiments.FastTiming(), seed)
+		row, err := experiments.RunE2(n, timing, seed)
 		if err != nil {
 			return err
 		}
@@ -142,7 +176,7 @@ func runE2(seed int64, quick bool) error {
 	return nil
 }
 
-func runE3(seed int64, quick bool) error {
+func runE3(timing experiments.Timing, seed int64, quick bool) error {
 	header("E3 — state transfer strategies vs state size",
 		"§5: blocking view installation during transfer 'might be infeasible'; split the state into a small synchronous piece and a concurrent bulk")
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
@@ -152,7 +186,7 @@ func runE3(seed int64, quick bool) error {
 	fmt.Println(experiments.E3Header)
 	for _, size := range sizes {
 		for _, strat := range []transfer.Strategy{transfer.Blocking, transfer.Split} {
-			row, err := experiments.RunE3(size, strat, experiments.FastTiming(), seed)
+			row, err := experiments.RunE3(size, strat, timing, seed)
 			if err != nil {
 				return err
 			}
@@ -162,10 +196,10 @@ func runE3(seed int64, quick bool) error {
 	return nil
 }
 
-func runE4(seed int64, _ bool) error {
+func runE4(timing experiments.Timing, seed int64, _ bool) error {
 	header("E4 — incidence of the shared state problems",
 		"§4: necessary conditions for transfer / creation / merging; primary partitions never merge")
-	rows, err := experiments.RunE4(experiments.FastTiming(), seed)
+	rows, err := experiments.RunE4(timing, seed)
 	if err != nil {
 		return err
 	}
@@ -181,7 +215,7 @@ func runE4(seed int64, _ bool) error {
 	return nil
 }
 
-func runE5(seed int64, quick bool) error {
+func runE5(timing experiments.Timing, seed int64, quick bool) error {
 	header("E5 — run-time overhead of enriched views",
 		"§6: the extension 'requires minor modifications ... and can be implemented efficiently'")
 	ns := []int{3, 5, 8}
@@ -191,7 +225,7 @@ func runE5(seed int64, quick bool) error {
 	fmt.Println(experiments.E5Header)
 	for _, n := range ns {
 		for _, enriched := range []bool{false, true} {
-			row, err := experiments.RunE5(n, enriched, experiments.FastTiming(), seed)
+			row, err := experiments.RunE5(n, enriched, timing, seed)
 			if err != nil {
 				return err
 			}
@@ -201,7 +235,7 @@ func runE5(seed int64, quick bool) error {
 	return nil
 }
 
-func runE6(seed int64, quick bool) error {
+func runE6(timing experiments.Timing, seed int64, quick bool) error {
 	header("E6 — write availability under false-suspicion churn (ablation)",
 		"§2: false suspicions are indistinguishable from failures; each one costs a view change and a reconciliation")
 	gaps := []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, time.Second}
@@ -213,7 +247,7 @@ func runE6(seed int64, quick bool) error {
 	fmt.Println(experiments.E6Header)
 	for _, gap := range gaps {
 		for _, enriched := range []bool{false, true} {
-			row, err := experiments.RunE6(gap, window, enriched, experiments.FastTiming(), seed)
+			row, err := experiments.RunE6(gap, window, enriched, timing, seed)
 			if err != nil {
 				return err
 			}

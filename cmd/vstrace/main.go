@@ -10,9 +10,16 @@
 //	go run ./cmd/vstrace                 # default random schedule
 //	go run ./cmd/vstrace -n 6 -steps 40  # bigger group, longer schedule
 //	go run ./cmd/vstrace -seed 7         # a different schedule
+//	go run ./cmd/vstrace -trace-out trace.jsonl  # structured event stream
+//
+// With -trace-out, every process is additionally instrumented with an
+// obs tracer and the full event stream (sends, deliveries, suspicions,
+// proposals, installs, e-changes — one JSON object per line, see the
+// README "Observability" section) is written to the given file.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +31,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/stable"
 )
@@ -33,15 +41,33 @@ func main() {
 	n := flag.Int("n", 5, "group size")
 	steps := flag.Int("steps", 30, "schedule length")
 	seed := flag.Int64("seed", 1, "schedule seed")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace of protocol events to this file")
 	flag.Parse()
-	if err := run(*n, *steps, *seed); err != nil {
+	if err := run(*n, *steps, *seed, *traceOut); err != nil {
 		log.Fatalf("vstrace: %v", err)
 	}
 }
 
-func run(n, steps int, seed int64) error {
+func run(n, steps int, seed int64, traceOut string) error {
 	r := rand.New(rand.NewSource(seed))
 	rec := check.NewRecorder()
+
+	var observer core.Observer = rec
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	var jsonl *obs.JSONLSink
+	if traceOut != "" {
+		var err error
+		traceFile, err = os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		traceBuf = bufio.NewWriter(traceFile)
+		jsonl = obs.NewJSONLSink(traceBuf)
+		coll := obs.NewCollector(nil, obs.NewTracer(0, jsonl))
+		observer = obs.Tee(rec, coll)
+	}
 	fabric := simnet.New(simnet.Config{
 		Delay: simnet.NewUniformDelay(50*time.Microsecond, 400*time.Microsecond, seed+1),
 		Seed:  seed,
@@ -56,7 +82,7 @@ func run(n, steps int, seed int64) error {
 		ProposeTimeout: 30 * time.Millisecond,
 		Enriched:       true,
 		LogViews:       true,
-		Observer:       rec,
+		Observer:       observer,
 	}
 
 	sites := make([]string, n)
@@ -171,6 +197,20 @@ func run(n, steps int, seed int64) error {
 	s := rec.Summary()
 	fmt.Printf("\ntrace: %d processes, %d sends, %d deliveries, %d views, %d e-changes\n",
 		s.Processes, s.Sends, s.Deliveries, s.Views, s.EChanges)
+	if traceBuf != nil {
+		// Stop the processes first: Crash blocks until the protocol loop
+		// exits, so no observer callback can race the buffer flush.
+		for _, p := range all() {
+			p.Crash()
+		}
+		if err := traceBuf.Flush(); err != nil {
+			return fmt.Errorf("flush trace: %w", err)
+		}
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Printf("structured trace written to %s\n", traceOut)
+	}
 	errs := rec.Verify()
 	check.SortErrors(errs)
 	if len(errs) == 0 {

@@ -21,6 +21,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/clock"
 	"repro/internal/evs"
 	"repro/internal/ids"
@@ -171,6 +173,48 @@ type Observer interface {
 	OnView(self ids.PID, ev ViewEvent)
 	// OnEChange fires when the process applies an e-view change.
 	OnEChange(self ids.PID, ev EChangeEvent)
+}
+
+// ExtendedObserver is an optional extension of Observer providing the
+// protocol-internal instrumentation hooks the observability layer
+// (internal/obs) consumes: failure-detector transitions, membership
+// rounds, flush and tick timing, and per-kind packet accounting. The
+// run-time detects the extension by type assertion on Options.Observer
+// at Start; when the observer does not implement it (or there is no
+// observer at all) none of the extra hooks — including their time
+// measurements — are evaluated, preserving the nopObserver fast path.
+// Like Observer callbacks, all hooks run on the protocol goroutine and
+// must be fast and non-reentrant.
+type ExtendedObserver interface {
+	Observer
+	// OnSuspectChange fires when this process's failure detector flips
+	// its opinion of peer. The first suspicion after an install marks
+	// the start of view-change latency.
+	OnSuspectChange(self, peer ids.PID, suspected bool)
+	// OnHeartbeatGap fires on each liveness indication from peer with
+	// the time elapsed since the previous one.
+	OnHeartbeatGap(self, peer ids.PID, gap time.Duration)
+	// OnPropose fires when self starts coordinating a membership round
+	// for the given proposal and composition size; retry is set when the
+	// round replaces one whose acks timed out.
+	OnPropose(self ids.PID, proposal ids.ViewID, members int, retry bool)
+	// OnBlock fires when self acks a proposal and blocks multicasting
+	// (the flush discipline). For join-driven changes with no suspicion
+	// this marks the start of view-change latency.
+	OnBlock(self ids.PID, proposal ids.ViewID)
+	// OnFlush fires after the flush phase of an install: recovered is
+	// the number of missed messages delivered from co-survivors, d the
+	// time spent delivering them. view is the predecessor view.
+	OnFlush(self ids.PID, view ids.ViewID, recovered int, d time.Duration)
+	// OnPacket fires for every protocol packet sent (sent=true) or
+	// received by this process, with the fabric kind label and nominal
+	// size in bytes.
+	OnPacket(self ids.PID, kind string, size int, sent bool)
+	// OnTick reports the duration of one protocol housekeeping tick.
+	OnTick(self ids.PID, d time.Duration)
+	// OnMergeRequest fires when the application submits a subview or
+	// sv-set merge; the matching OnEChange marks its completion.
+	OnMergeRequest(self ids.PID, kind EChangeKind)
 }
 
 // nopObserver is the default Observer.

@@ -11,9 +11,29 @@ import (
 	"repro/internal/simnet"
 )
 
+// send unicasts a protocol packet, reporting it to the extended observer
+// first. All loop-originated sends go through here (or bcast) so that
+// per-kind packet accounting sees every packet.
+func (m *machine) send(to ids.PID, payload any) {
+	if m.p.tobs != nil {
+		kind, size := simnet.Describe(payload)
+		m.p.tobs.OnPacket(m.p.pid, kind, size, true)
+	}
+	m.p.ep.Send(to, payload)
+}
+
+// bcast broadcasts a protocol packet; see send.
+func (m *machine) bcast(payload any) {
+	if m.p.tobs != nil {
+		kind, size := simnet.Describe(payload)
+		m.p.tobs.OnPacket(m.p.pid, kind, size, true)
+	}
+	m.p.ep.Broadcast(payload)
+}
+
 // sendHeartbeat broadcasts the periodic liveness/discovery packet.
 func (m *machine) sendHeartbeat() {
-	m.p.ep.Broadcast(pktHeartbeat{
+	m.bcast(pktHeartbeat{
 		Group:    m.p.opts.Group,
 		From:     m.p.pid,
 		View:     m.view.ID,
@@ -293,7 +313,7 @@ func (m *machine) doUnicast(to ids.PID, payload []byte) {
 		m.onUnicast(pkt)
 		return
 	}
-	m.p.ep.Send(to, pkt)
+	m.send(to, pkt)
 }
 
 func (m *machine) onRequest(r request) {
@@ -328,6 +348,13 @@ func (m *machine) onRequest(r request) {
 			r.reply <- ErrBlocked
 			return
 		}
+		if m.p.tobs != nil {
+			kind := EChangeSubviewMerge
+			if r.kind == reqMergeSVSets {
+				kind = EChangeSVSetMerge
+			}
+			m.p.tobs.OnMergeRequest(m.p.pid, kind)
+		}
 		req := pktMergeReq{
 			Group:    m.p.opts.Group,
 			From:     m.p.pid,
@@ -344,7 +371,7 @@ func (m *machine) onRequest(r request) {
 		if seqr == m.p.pid {
 			m.onMergeReq(req)
 		} else {
-			m.p.ep.Send(seqr, req)
+			m.send(seqr, req)
 		}
 		r.reply <- nil
 	}
@@ -377,7 +404,7 @@ func (m *machine) doMulticast(payload []byte) {
 	m.deliverCausal(pkt, false)
 	for _, q := range m.view.Members {
 		if q != m.p.pid {
-			m.p.ep.Send(q, pkt)
+			m.send(q, pkt)
 		}
 	}
 }
@@ -431,7 +458,7 @@ func (m *machine) onMergeReq(req pktMergeReq) {
 	m.deliverCausal(pkt, false)
 	for _, q := range m.view.Members {
 		if q != m.p.pid {
-			m.p.ep.Send(q, pkt)
+			m.send(q, pkt)
 		}
 	}
 }
@@ -489,7 +516,7 @@ func (m *machine) onTick(now time.Time) {
 					next.Add(q)
 				}
 			}
-			m.startProposal(next, now)
+			m.startProposal(next, now, true)
 		}
 		return
 	}
@@ -500,7 +527,7 @@ func (m *machine) onTick(now time.Time) {
 	if min, ok := desired.Min(); !ok || min != m.p.pid {
 		return // someone smaller is responsible for coordinating
 	}
-	m.startProposal(m.clampSingleJoin(desired), now)
+	m.startProposal(m.clampSingleJoin(desired), now, false)
 }
 
 // clampSingleJoin applies the Isis-style grow-by-one rule when enabled.
@@ -519,7 +546,7 @@ func (m *machine) clampSingleJoin(desired ids.PIDSet) ids.PIDSet {
 	return clamped
 }
 
-func (m *machine) startProposal(comp ids.PIDSet, now time.Time) {
+func (m *machine) startProposal(comp ids.PIDSet, now time.Time, retry bool) {
 	epoch := m.maxEpoch + 1
 	m.storeEpoch(epoch)
 	prop := ids.ViewID{Epoch: epoch, Coord: m.p.pid}
@@ -529,11 +556,19 @@ func (m *machine) startProposal(comp ids.PIDSet, now time.Time) {
 		acks:     make(map[ids.PID]pktAck, len(comp)),
 		deadline: now.Add(m.p.opts.ProposeTimeout),
 	}
-	m.p.bumpStat(func(s *Stats) { s.ProposalsSent++ })
+	m.p.bumpStat(func(s *Stats) {
+		s.ProposalsSent++
+		if retry {
+			s.ProposalRetries++
+		}
+	})
+	if m.p.tobs != nil {
+		m.p.tobs.OnPropose(m.p.pid, prop, len(comp), retry)
+	}
 	pkt := pktPropose{Group: m.p.opts.Group, Proposal: prop, Comp: comp.Sorted()}
 	for q := range comp {
 		if q != m.p.pid {
-			m.p.ep.Send(q, pkt)
+			m.send(q, pkt)
 		}
 	}
 	m.onPropose(pkt) // self-participation
@@ -563,6 +598,9 @@ func (m *machine) onPropose(pr pktPropose) {
 	}
 	m.ackedProp = pr.Proposal
 	m.blocked = true
+	if m.p.tobs != nil {
+		m.p.tobs.OnBlock(m.p.pid, pr.Proposal)
+	}
 	ack := pktAck{
 		Group:      m.p.opts.Group,
 		Proposal:   pr.Proposal,
@@ -575,7 +613,7 @@ func (m *machine) onPropose(pr pktPropose) {
 	if pr.Proposal.Coord == m.p.pid {
 		m.onAck(ack)
 	} else {
-		m.p.ep.Send(pr.Proposal.Coord, ack)
+		m.send(pr.Proposal.Coord, ack)
 	}
 }
 
@@ -670,7 +708,7 @@ func (m *machine) finishProposal() {
 	}
 	for _, q := range comp {
 		if q != m.p.pid {
-			m.p.ep.Send(q, inst)
+			m.send(q, inst)
 		}
 	}
 	m.onInstall(inst)
@@ -689,6 +727,10 @@ func (m *machine) onInstall(inst pktInstall) {
 	}
 	// Deliver the messages our co-survivors delivered and we missed
 	// (P2.1), in an order extending causality.
+	var flushStart time.Time
+	if m.p.tobs != nil {
+		flushStart = time.Now()
+	}
 	var missing []pktData
 	for _, d := range inst.Flush[m.view.ID] {
 		if _, have := m.deliveredIDs[d.ID]; !have {
@@ -697,6 +739,9 @@ func (m *machine) onInstall(inst pktInstall) {
 	}
 	for _, d := range causalTopoOrder(missing) {
 		m.deliverCausal(d, true)
+	}
+	if m.p.tobs != nil {
+		m.p.tobs.OnFlush(m.p.pid, m.view.ID, len(missing), time.Since(flushStart))
 	}
 
 	newView := EView{

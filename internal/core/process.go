@@ -34,6 +34,9 @@ type Stats struct {
 	FlushDeliveries uint64
 	EChangesApplied uint64
 	ProposalsSent   uint64
+	// ProposalRetries counts proposal rounds restarted after an ack
+	// timeout (a subset of ProposalsSent).
+	ProposalRetries uint64
 	// StableMsgsPruned counts buffered messages discarded by stability
 	// tracking (delivered by every member, so no flush can need them).
 	StableMsgsPruned uint64
@@ -47,6 +50,9 @@ type Process struct {
 	ep    *simnet.Endpoint
 	store *stable.Store
 	obs   Observer
+	// tobs is opts.Observer when it implements ExtendedObserver, else
+	// nil; every extended hook (and its timing) is gated on it.
+	tobs ExtendedObserver
 
 	events *eventq.Queue[Event]
 	evch   chan Event
@@ -124,6 +130,7 @@ func Start(fabric *simnet.Fabric, reg *stable.Registry, site string, opts Option
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	p.tobs, _ = opts.Observer.(ExtendedObserver)
 	p.m.init(p)
 
 	// Bootstrap: install the singleton view synchronously so the first
@@ -314,12 +321,21 @@ func (p *Process) run() {
 		case <-hb.C:
 			p.m.sendHeartbeat()
 		case <-tick.C:
-			p.m.onTick(time.Now())
+			if p.tobs != nil {
+				start := time.Now()
+				p.m.onTick(start)
+				p.tobs.OnTick(p.pid, time.Since(start))
+			} else {
+				p.m.onTick(time.Now())
+			}
 		case <-p.ep.Wait():
 			for {
 				msg, ok := p.ep.TryRecv()
 				if !ok {
 					break
+				}
+				if p.tobs != nil {
+					p.tobs.OnPacket(p.pid, msg.Kind, msg.Size, false)
 				}
 				p.m.onPacket(msg, time.Now())
 			}
@@ -378,6 +394,17 @@ type coordState struct {
 func (m *machine) init(p *Process) {
 	m.p = p
 	m.det = fd.New(p.opts.SuspectAfter)
+	if tobs := p.tobs; tobs != nil {
+		self := p.pid
+		m.det.SetHooks(fd.Hooks{
+			HeartbeatGap: func(q ids.PID, gap time.Duration) {
+				tobs.OnHeartbeatGap(self, q, gap)
+			},
+			SuspectChange: func(q ids.PID, suspected bool) {
+				tobs.OnSuspectChange(self, q, suspected)
+			},
+		})
+	}
 	m.delivered = make(map[ids.MsgID]pktData)
 	m.deliveredIDs = make(map[ids.MsgID]struct{})
 	m.seen = make(map[ids.MsgID]struct{})

@@ -24,6 +24,11 @@ type Timing struct {
 	SuspectAfter   time.Duration
 	Tick           time.Duration
 	ProposeTimeout time.Duration
+	// Observer, when non-nil, is attached to every process the
+	// experiment starts (vsbench -metrics wires an obs.Collector here).
+	// Experiments that install their own observer compose with it via
+	// obs.Tee rather than replacing it.
+	Observer core.Observer
 }
 
 // FastTiming is the default simulation-speed profile.
@@ -45,6 +50,7 @@ func (t Timing) options(group string, enriched bool) core.Options {
 		ProposeTimeout: t.ProposeTimeout,
 		Enriched:       enriched,
 		LogViews:       true,
+		Observer:       t.Observer,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/modes"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 )
 
@@ -147,7 +148,7 @@ func RunF2(timing Timing, seed int64) ([]F2Row, int, error) {
 	defer e.close()
 	rec := check.NewRecorder()
 	opts := timing.options("f2", true)
-	opts.Observer = rec
+	opts.Observer = obs.Tee(opts.Observer, rec)
 
 	const n = 6
 	sites := make([]string, n)
@@ -238,7 +239,7 @@ func RunF3(n int, timing Timing, seed int64) (F3Row, error) {
 	defer e.close()
 	rec := check.NewRecorder()
 	opts := timing.options("f3", true)
-	opts.Observer = rec
+	opts.Observer = obs.Tee(opts.Observer, rec)
 
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {

@@ -17,12 +17,30 @@ import (
 	"repro/internal/ids"
 )
 
+// Hooks are optional instrumentation callbacks. They fire synchronously
+// on the goroutine driving the detector, so implementations must be
+// fast and must not call back into the detector.
+type Hooks struct {
+	// HeartbeatGap fires on every liveness indication from a peer that
+	// has been heard before, with the time since the previous one.
+	HeartbeatGap func(p ids.PID, gap time.Duration)
+	// SuspectChange fires when the detector's opinion of p flips:
+	// suspected=true when p crosses the timeout (observed at the next
+	// poll) or is force-suspected, false when a liveness indication
+	// clears the suspicion (including first contact).
+	SuspectChange func(p ids.PID, suspected bool)
+}
+
 // Detector tracks the set of peers a process has heard from recently.
 // Not safe for concurrent use; confine to one goroutine.
 type Detector struct {
 	timeout   time.Duration
 	lastHeard map[ids.PID]time.Time
 	forced    map[ids.PID]struct{}
+	hooks     Hooks
+	// suspState is the last suspicion state reported through hooks,
+	// maintained only while a SuspectChange hook is installed.
+	suspState map[ids.PID]bool
 }
 
 // New returns a detector that suspects any peer silent for longer than
@@ -32,7 +50,25 @@ func New(timeout time.Duration) *Detector {
 		timeout:   timeout,
 		lastHeard: make(map[ids.PID]time.Time),
 		forced:    make(map[ids.PID]struct{}),
+		suspState: make(map[ids.PID]bool),
 	}
+}
+
+// SetHooks installs instrumentation callbacks. Pass the zero Hooks to
+// disable. With no hooks installed the detector's behavior and cost are
+// unchanged.
+func (d *Detector) SetHooks(h Hooks) { d.hooks = h }
+
+// noteSusp records and reports a suspicion-state transition for p.
+func (d *Detector) noteSusp(p ids.PID, suspected bool) {
+	if d.hooks.SuspectChange == nil {
+		return
+	}
+	if prev, ok := d.suspState[p]; ok && prev == suspected {
+		return
+	}
+	d.suspState[p] = suspected
+	d.hooks.SuspectChange(p, suspected)
 }
 
 // Timeout returns the suspicion timeout.
@@ -42,7 +78,13 @@ func (d *Detector) Timeout() time.Duration { return d.timeout }
 // at the given time.
 func (d *Detector) Heard(p ids.PID, now time.Time) {
 	if t, ok := d.lastHeard[p]; !ok || now.After(t) {
+		if ok && d.hooks.HeartbeatGap != nil {
+			d.hooks.HeartbeatGap(p, now.Sub(t))
+		}
 		d.lastHeard[p] = now
+	}
+	if _, forced := d.forced[p]; !forced {
+		d.noteSusp(p, false)
 	}
 }
 
@@ -51,12 +93,16 @@ func (d *Detector) Heard(p ids.PID, now time.Time) {
 func (d *Detector) Forget(p ids.PID) {
 	delete(d.lastHeard, p)
 	delete(d.forced, p)
+	delete(d.suspState, p)
 }
 
 // ForceSuspect injects a false suspicion of p: Suspects(p) reports true
 // regardless of heartbeats until Unforce is called. Tests and experiments
 // use this to exercise the paper's "false suspicion" failure transitions.
-func (d *Detector) ForceSuspect(p ids.PID) { d.forced[p] = struct{}{} }
+func (d *Detector) ForceSuspect(p ids.PID) {
+	d.forced[p] = struct{}{}
+	d.noteSusp(p, true)
+}
 
 // Unforce removes an injected suspicion.
 func (d *Detector) Unforce(p ids.PID) { delete(d.forced, p) }
@@ -84,13 +130,17 @@ func (d *Detector) Known() ids.PIDSet {
 	return s
 }
 
-// Alive returns the set of known peers not suspected at time now.
+// Alive returns the set of known peers not suspected at time now. When a
+// SuspectChange hook is installed, the poll also reports any timeout-
+// driven suspicion transitions observed since the previous call.
 func (d *Detector) Alive(now time.Time) ids.PIDSet {
 	s := make(ids.PIDSet)
 	for p := range d.lastHeard {
-		if !d.Suspects(p, now) {
+		suspected := d.Suspects(p, now)
+		if !suspected {
 			s.Add(p)
 		}
+		d.noteSusp(p, suspected)
 	}
 	return s
 }

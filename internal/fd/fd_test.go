@@ -104,3 +104,79 @@ func TestGC(t *testing.T) {
 		t.Fatalf("GC kept wrong peers: %v", d.Known())
 	}
 }
+
+func TestHooksHeartbeatGap(t *testing.T) {
+	d := New(10 * time.Millisecond)
+	var gaps []time.Duration
+	d.SetHooks(Hooks{HeartbeatGap: func(p ids.PID, gap time.Duration) {
+		if p != pa {
+			t.Fatalf("gap for %v, want %v", p, pa)
+		}
+		gaps = append(gaps, gap)
+	}})
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0) // first contact: no previous timestamp, no gap
+	d.Heard(pa, t0.Add(3*time.Millisecond))
+	d.Heard(pa, t0.Add(3*time.Millisecond)) // stale (not after): no gap
+	d.Heard(pa, t0.Add(10*time.Millisecond))
+	if len(gaps) != 2 || gaps[0] != 3*time.Millisecond || gaps[1] != 7*time.Millisecond {
+		t.Fatalf("gaps = %v", gaps)
+	}
+}
+
+func TestHooksSuspectChangeDedupes(t *testing.T) {
+	d := New(10 * time.Millisecond)
+	type flip struct {
+		p         ids.PID
+		suspected bool
+	}
+	var flips []flip
+	d.SetHooks(Hooks{SuspectChange: func(p ids.PID, s bool) { flips = append(flips, flip{p, s}) }})
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0)                      // first contact -> cleared
+	d.Heard(pa, t0.Add(time.Millisecond)) // still clear -> deduped
+	d.Alive(t0.Add(2 * time.Millisecond)) // still clear -> deduped
+	d.Alive(t0.Add(20 * time.Millisecond)) // timeout crossed -> suspected
+	d.Alive(t0.Add(21 * time.Millisecond)) // still suspected -> deduped
+	d.Heard(pa, t0.Add(25*time.Millisecond)) // heartbeat clears it
+	want := []flip{{pa, false}, {pa, true}, {pa, false}}
+	if len(flips) != len(want) {
+		t.Fatalf("flips = %v, want %v", flips, want)
+	}
+	for i := range want {
+		if flips[i] != want[i] {
+			t.Fatalf("flips[%d] = %v, want %v", i, flips[i], want[i])
+		}
+	}
+}
+
+func TestHooksForceSuspect(t *testing.T) {
+	d := New(time.Hour)
+	var flips []bool
+	d.SetHooks(Hooks{SuspectChange: func(p ids.PID, s bool) { flips = append(flips, s) }})
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0) // cleared
+	d.ForceSuspect(pa)
+	d.Heard(pa, t0.Add(time.Millisecond)) // forced: heartbeat must NOT clear
+	d.Unforce(pa)
+	d.Heard(pa, t0.Add(2*time.Millisecond)) // now it clears
+	want := []bool{false, true, false}
+	if len(flips) != len(want) {
+		t.Fatalf("flips = %v, want %v", flips, want)
+	}
+	for i := range want {
+		if flips[i] != want[i] {
+			t.Fatalf("flips[%d] = %v, want %v", i, flips[i], want[i])
+		}
+	}
+}
+
+func TestNoHooksNoTracking(t *testing.T) {
+	// Without hooks the detector must not accumulate suspState entries.
+	d := New(time.Hour)
+	d.Heard(pa, time.Unix(0, 0))
+	d.Alive(time.Unix(1, 0))
+	if len(d.suspState) != 0 {
+		t.Fatalf("suspState grew without hooks: %v", d.suspState)
+	}
+}

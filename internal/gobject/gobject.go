@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ids"
@@ -78,6 +79,11 @@ type Config struct {
 	Enriched bool
 	// Transfer configures the bulk transfer tool.
 	Transfer transfer.Options
+	// ModeObserver, when non-nil, is called for every Figure-1 mode
+	// transition with the dwell time spent in the mode being left
+	// (obs.Collector.OnModeStep fits). Called on the host's event
+	// goroutine; keep it fast.
+	ModeObserver func(self ids.PID, st modes.Step, dwell time.Duration)
 }
 
 // Stats counts host activity.
@@ -240,6 +246,12 @@ func (h *Host) onView(v core.EView) {
 	}
 	if h.machine == nil {
 		h.machine = modes.NewMachine(h.obj.ModeFunc(h.p.PID()), v)
+		if fn := h.cfg.ModeObserver; fn != nil {
+			self := h.p.PID()
+			h.machine.Observe(func(st modes.Step, dwell time.Duration) {
+				fn(self, st, dwell)
+			})
+		}
 	} else {
 		h.machine.OnView(v)
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/gobject"
 	"repro/internal/ids"
 	"repro/internal/modes"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/sstate"
 	"repro/internal/vstest"
@@ -298,4 +299,47 @@ func TestHostAPIErrors(t *testing.T) {
 		t.Fatalf("Multicast after close: %v", err)
 	}
 	h.Close() // idempotent
+}
+
+// TestModeObserver wires the observability collector into the host's
+// mode machine and checks that reaching N-mode (the S -Reconcile-> N
+// arc every member takes at formation) lands in the dwell histograms
+// and transition counters.
+func TestModeObserver(t *testing.T) {
+	net := vstest.NewNet(t, 604)
+	const n = 3
+	sites := make([]string, n)
+	for i := range sites {
+		sites[i] = vstest.SiteName(i)
+	}
+	rw := quorum.MajorityRW(quorum.Uniform(sites...))
+
+	coll := obs.NewCollector(obs.NewRegistry(), nil)
+	cfg := gobject.Config{Enriched: true, ModeObserver: coll.OnModeStep}
+	hosts := make([]*gobject.Host, 0, n)
+	for _, s := range sites {
+		obj := &blobObject{rw: rw}
+		h, err := gobject.Open(net.Fabric, net.Reg, s, vstest.FastOptions(), cfg, obj)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", s, err)
+		}
+		obj.self = h.Process().PID()
+		t.Cleanup(h.Close)
+		hosts = append(hosts, h)
+	}
+	for _, h := range hosts {
+		h := h
+		vstest.Eventually(t, 15*time.Second, "N-mode", func() bool {
+			return h.Mode() == modes.Normal
+		})
+	}
+
+	snap := coll.Registry().Snapshot()
+	if got := snap.Counters[obs.MetricModeTransitionPrefix+"Reconcile"]; got < n {
+		t.Fatalf("mode.transitions.Reconcile = %d, want >= %d", got, n)
+	}
+	dwellS := snap.Histograms[obs.MetricModeDwellPrefix+"S"]
+	if dwellS.Count < n {
+		t.Fatalf("mode.dwell_s.S count = %d, want >= %d", dwellS.Count, n)
+	}
 }

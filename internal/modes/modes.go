@@ -113,6 +113,7 @@ type Machine struct {
 	history []Step
 	counts  map[Transition]int
 	resided map[Mode]time.Duration
+	onStep  func(Step, time.Duration)
 }
 
 // NewMachine creates a machine for the first installed view. The initial
@@ -141,6 +142,12 @@ func newMachineAt(fn Func, first core.EView, now func() time.Time) *Machine {
 	m.since = m.now()
 	return m
 }
+
+// Observe registers fn to be called synchronously after every step with
+// the step taken and the dwell time — how long the machine resided in
+// the mode being left. At most one observer; nil disables. Observability
+// layers use this for mode-dwell histograms and transition traces.
+func (m *Machine) Observe(fn func(st Step, dwell time.Duration)) { m.onStep = fn }
 
 // Mode returns the current mode.
 func (m *Machine) Mode() Mode { return m.mode }
@@ -214,12 +221,16 @@ func (m *Machine) Reconcile() (Step, error) {
 
 func (m *Machine) step(from, to Mode, label Transition, view ids.ViewID) Step {
 	now := m.now()
-	m.resided[from] += now.Sub(m.since)
+	dwell := now.Sub(m.since)
+	m.resided[from] += dwell
 	m.since = now
 	m.mode = to
 	st := Step{From: from, To: to, Label: label, View: view, At: now}
 	m.history = append(m.history, st)
 	m.counts[label]++
+	if m.onStep != nil {
+		m.onStep(st, dwell)
+	}
 	return st
 }
 

@@ -336,3 +336,70 @@ func TestModeAndTransitionStrings(t *testing.T) {
 		t.Error("unknown values must render")
 	}
 }
+
+func TestObserveReportsStepsAndDwell(t *testing.T) {
+	clk := newFixedClock()
+	m := newMachineAt(targetByEpoch(map[uint64]Mode{1: Settling, 2: Reduced, 3: Settling}), flatView(1, pa, pb), clk.now)
+
+	type obsStep struct {
+		st    Step
+		dwell time.Duration
+	}
+	var got []obsStep
+	m.Observe(func(st Step, dwell time.Duration) { got = append(got, obsStep{st, dwell}) })
+
+	clk.advance(5 * time.Millisecond)
+	m.OnView(flatView(2, pa)) // S -Failure-> R after 5ms in S
+	clk.advance(7 * time.Millisecond)
+	m.OnView(flatView(3, pa, pb)) // R -Repair-> S after 7ms in R
+	clk.advance(11 * time.Millisecond)
+	if _, err := m.Reconcile(); err != nil { // S -Reconcile-> N after 11ms in S
+		t.Fatalf("Reconcile: %v", err)
+	}
+
+	want := []struct {
+		from, to Mode
+		label    Transition
+		dwell    time.Duration
+	}{
+		{Settling, Reduced, Failure, 5 * time.Millisecond},
+		{Reduced, Settling, Repair, 7 * time.Millisecond},
+		{Settling, Normal, Reconcile, 11 * time.Millisecond},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d steps, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.st.From != w.from || g.st.To != w.to || g.st.Label != w.label || g.dwell != w.dwell {
+			t.Fatalf("step %d = %+v dwell %v, want %v -%v-> %v dwell %v",
+				i, g.st, g.dwell, w.from, w.label, w.to, w.dwell)
+		}
+	}
+
+	// The observer must see exactly what History records.
+	h := m.History()
+	if len(h) != len(got) {
+		t.Fatalf("history has %d steps, observer saw %d", len(h), len(got))
+	}
+	for i := range h {
+		if h[i] != got[i].st {
+			t.Fatalf("history[%d] = %+v, observer saw %+v", i, h[i], got[i].st)
+		}
+	}
+
+}
+
+func TestObserveSkipsNonTransitions(t *testing.T) {
+	clk := newFixedClock()
+	m := newMachineAt(constFunc(Reduced), flatView(1, pa), clk.now)
+	fired := 0
+	m.Observe(func(Step, time.Duration) { fired++ })
+	clk.advance(time.Millisecond)
+	if _, moved := m.OnView(flatView(2, pa)); moved {
+		t.Fatal("R -> R should not be a transition")
+	}
+	if fired != 0 {
+		t.Fatalf("observer fired %d times on a non-transition", fired)
+	}
+}

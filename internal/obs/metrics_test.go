@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+// TestHistogramBucketEdges pins the boundary rule: an observation equal
+// to a bound lands in that bound's bucket; anything above the last
+// bound lands in the overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},
+		{0.5, 0},
+		{1, 0},    // exactly on a bound -> that bucket
+		{1.0001, 1},
+		{2, 1},
+		{4.9, 2},
+		{5, 2},
+		{5.0001, 3}, // above the last bound -> overflow
+		{math.Inf(1), 3},
+	}
+	for _, tc := range cases {
+		before := make([]uint64, len(h.counts))
+		for i := range h.counts {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(tc.v)
+		for i := range h.counts {
+			want := before[i]
+			if i == tc.bucket {
+				want++
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Fatalf("Observe(%v): bucket %d = %d, want %d", tc.v, i, got, want)
+			}
+		}
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", got, len(cases))
+	}
+}
+
+func TestHistogramSumAndDuration(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	h.Observe(0.25)
+	h.ObserveDuration(750 * time.Millisecond)
+	if got, want := h.Sum(), 1.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+// TestHistogramUnsortedBounds: constructor sorts, so callers can pass
+// bounds in any order.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	h := newHistogram([]float64{5, 1, 2})
+	h.Observe(1.5)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Fatalf("Observe(1.5) with unsorted bounds: bucket 1 = %d, want 1", got)
+	}
+}
+
+// TestConcurrentMetrics hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this doubles as the
+// lock-freedom soundness check, and the final totals verify no lost
+// updates.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mix registration with updates: lookups race the write lock.
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h", []float64{0.5})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := r.Counter("c").Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("g").Value(); got != total {
+		t.Fatalf("gauge = %d, want %d", got, total)
+	}
+	h := r.Histogram("h", nil)
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	if got, want := h.Sum(), 0.25*total; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter returned different handles for one name")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{9}) // later bounds ignored
+	if h1 != h2 {
+		t.Fatal("Histogram returned different handles for one name")
+	}
+	if len(h1.bounds) != 2 {
+		t.Fatalf("first registration's bounds lost: %v", h1.bounds)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("msgs.sent").Add(3)
+	r.Gauge("group.size").Set(5)
+	r.Histogram("lat", []float64{0.1, 1}).Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["msgs.sent"] != 3 {
+		t.Fatalf("counter in snapshot = %d, want 3", s.Counters["msgs.sent"])
+	}
+	if s.Gauges["group.size"] != 5 {
+		t.Fatalf("gauge in snapshot = %d, want 5", s.Gauges["group.size"])
+	}
+	h := s.Histograms["lat"]
+	if h.Count != 1 || len(h.Counts) != len(h.Bounds)+1 {
+		t.Fatalf("histogram in snapshot = %+v", h)
+	}
+	if h.Counts[0] != 1 {
+		t.Fatalf("0.05 should land in the first bucket: %v", h.Counts)
+	}
+	if s.TakenAt.IsZero() {
+		t.Fatal("TakenAt not stamped")
+	}
+}

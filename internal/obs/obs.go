@@ -1,0 +1,26 @@
+// Package obs is the observability layer of the reproduction: a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket
+// histograms) and a per-process structured trace facility (a bounded
+// ring of typed events with pluggable sinks), plus a Collector that
+// implements core.ExtendedObserver and turns the run-time's
+// instrumentation hooks into both.
+//
+// The paper's headline costs — how many view changes a merge takes
+// (§5), how cheaply enriched views classify the shared-state problem
+// (§6.2) — are latencies and message counts. This package measures them
+// live instead of reconstructing them post-hoc from checker traces:
+//
+//	reg := obs.NewRegistry()
+//	tr := obs.NewTracer(4096, obs.NewJSONLSink(w))
+//	coll := obs.NewCollector(reg, tr)
+//	opts.Observer = obs.Tee(coll, recorder) // compose with the checker
+//
+// Everything is opt-in: a process started without an Observer keeps the
+// run-time's no-op fast path (no timing calls, no allocations on the
+// send/deliver path); see BenchmarkMulticastObserverOverhead at the
+// repository root for the measured delta.
+//
+// Metric names are dotted strings (see the Metric* constants in
+// collector.go); the README "Observability" section documents the full
+// schema.
+package obs

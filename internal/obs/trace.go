@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventType discriminates trace events.
+type EventType string
+
+// The trace event types. One line of a JSONL trace carries exactly one.
+const (
+	// EvSend: the process multicast (or unicast) an application message.
+	EvSend EventType = "send"
+	// EvDeliver: the process delivered an application message.
+	EvDeliver EventType = "deliver"
+	// EvSuspect: the failure detector flipped its opinion of a peer
+	// (Note is "suspected" or "cleared").
+	EvSuspect EventType = "suspect"
+	// EvPropose: the process started coordinating a membership round.
+	EvPropose EventType = "propose"
+	// EvAck: the process acked a proposal and blocked (flush discipline).
+	EvAck EventType = "ack"
+	// EvInstall: the process installed a view.
+	EvInstall EventType = "install"
+	// EvFlush: the flush phase of an install completed.
+	EvFlush EventType = "flush"
+	// EvEChange: the process applied an e-view change.
+	EvEChange EventType = "echange"
+	// EvMode: the Figure-1 mode machine took a transition.
+	EvMode EventType = "mode"
+)
+
+// Event is one structured trace event. Seq is a per-tracer monotonic
+// sequence number assigned at append time; At is the wall-clock time of
+// the event. The remaining fields are type-dependent and omitted when
+// empty — the README "Observability" section documents which fields
+// each type carries.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	At   time.Time `json:"at"`
+	PID  string    `json:"pid"`
+	Type EventType `json:"type"`
+	// View is the view id the event concerns (installed view, proposal,
+	// message origin view).
+	View string `json:"view,omitempty"`
+	// Msg is the message id for send/deliver events.
+	Msg string `json:"msg,omitempty"`
+	// Peer is the other process for suspect events.
+	Peer string `json:"peer,omitempty"`
+	// Kind labels the event's flavor: e-change kind, mode transition
+	// label, or delivery flavor ("flush", "unicast").
+	Kind string `json:"kind,omitempty"`
+	// N is a type-dependent count (view size, recovered messages,
+	// e-change sequence number).
+	N int `json:"n,omitempty"`
+	// DurMS is a type-dependent duration in milliseconds (flush
+	// duration, mode dwell).
+	DurMS float64 `json:"dur_ms,omitempty"`
+	// Note carries anything else ("retry", "suspected", "N->S").
+	Note string `json:"note,omitempty"`
+}
+
+// Sink receives every event appended to a Tracer, synchronously and in
+// order (the tracer serializes emission under its lock). Sinks must not
+// call back into the tracer.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer is a bounded in-memory ring of events with optional sinks.
+// Safe for concurrent use; events from all processes sharing the tracer
+// are interleaved in one global sequence.
+type Tracer struct {
+	mu    sync.Mutex
+	seq   uint64
+	ring  []Event
+	next  int
+	full  bool
+	sinks []Sink
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer creates a tracer whose ring holds the last capacity events
+// (DefaultTraceCapacity if capacity <= 0). Sinks additionally receive
+// every event as it is appended, so a JSONL sink sees the complete
+// stream even after the ring wraps.
+func NewTracer(capacity int, sinks ...Sink) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Event, capacity), sinks: sinks}
+}
+
+// Append assigns the event its sequence number (and timestamp, when
+// At is zero), stores it in the ring, and emits it to every sink.
+func (t *Tracer) Append(ev Event) {
+	t.mu.Lock()
+	t.seq++
+	ev.Seq = t.seq
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently held in the ring.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Total returns the number of events ever appended (the ring holds the
+// last min(Total, capacity) of them).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Events returns the ring contents, oldest first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// JSONLSink writes each event as one JSON object per line. It does not
+// buffer; wrap the writer in a bufio.Writer (and flush it) for files.
+type JSONLSink struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// TextSink writes each event as one human-readable line.
+type TextSink struct{ w io.Writer }
+
+// NewTextSink returns a sink writing aligned text lines to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit implements Sink.
+func (s *TextSink) Emit(ev Event) {
+	line := fmt.Sprintf("%8d %s %-8s %-14s", ev.Seq, ev.At.Format("15:04:05.000000"), ev.Type, ev.PID)
+	if ev.View != "" {
+		line += " view=" + ev.View
+	}
+	if ev.Msg != "" {
+		line += " msg=" + ev.Msg
+	}
+	if ev.Peer != "" {
+		line += " peer=" + ev.Peer
+	}
+	if ev.Kind != "" {
+		line += " kind=" + ev.Kind
+	}
+	if ev.N != 0 {
+		line += fmt.Sprintf(" n=%d", ev.N)
+	}
+	if ev.DurMS != 0 {
+		line += fmt.Sprintf(" dur=%.3fms", ev.DurMS)
+	}
+	if ev.Note != "" {
+		line += " " + ev.Note
+	}
+	fmt.Fprintln(s.w, line)
+}
+
+// MemorySink collects every event in memory; tests use it to assert on
+// the full stream independent of the ring capacity.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything collected.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}

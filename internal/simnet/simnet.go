@@ -77,6 +77,17 @@ func (u *UniformDelay) Delay(_, _ string) time.Duration {
 
 // Stats aggregates fabric counters. Read a consistent snapshot via
 // Fabric.Stats.
+//
+// Snapshot semantics: Fabric.Stats returns a point-in-time copy taken
+// under the fabric lock — all counters in one returned value are
+// mutually consistent, and the per-kind maps are deep copies the caller
+// owns (mutating them does not affect the fabric, and later fabric
+// traffic does not affect them). Fabric.ResetStats zeroes every counter,
+// including the per-kind maps, atomically with respect to Stats; a
+// Stats/ResetStats pair brackets a measurement phase. Messages counted
+// as Sent include those subsequently dropped by loss, partition, or
+// dead-endpoint checks; Delivered counts only messages actually pushed
+// to an endpoint inbox.
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
@@ -90,8 +101,39 @@ type Stats struct {
 	DroppedDead uint64
 	// BytesSent sums nominal payload sizes of sent messages.
 	BytesSent uint64
-	// PerKind counts sent messages by payload kind.
+	// PerKind counts sent messages by payload kind (see Describe).
 	PerKind map[string]uint64
+	// PerKindBytes sums nominal payload sizes of sent messages by kind.
+	PerKindBytes map[string]uint64
+	// PerKindDelivered counts delivered messages by kind.
+	PerKindDelivered map[string]uint64
+}
+
+// newStats returns a zero Stats with allocated per-kind maps.
+func newStats() Stats {
+	return Stats{
+		PerKind:          make(map[string]uint64),
+		PerKindBytes:     make(map[string]uint64),
+		PerKindDelivered: make(map[string]uint64),
+	}
+}
+
+// clone returns a deep copy of s.
+func (s Stats) clone() Stats {
+	cp := s
+	cp.PerKind = make(map[string]uint64, len(s.PerKind))
+	for k, v := range s.PerKind {
+		cp.PerKind[k] = v
+	}
+	cp.PerKindBytes = make(map[string]uint64, len(s.PerKindBytes))
+	for k, v := range s.PerKindBytes {
+		cp.PerKindBytes[k] = v
+	}
+	cp.PerKindDelivered = make(map[string]uint64, len(s.PerKindDelivered))
+	for k, v := range s.PerKindDelivered {
+		cp.PerKindDelivered[k] = v
+	}
+	return cp
 }
 
 // Config parametrizes a Fabric.
@@ -148,7 +190,7 @@ func New(cfg Config) *Fabric {
 		wakeup:    make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
-	f.stats.PerKind = make(map[string]uint64)
+	f.stats = newStats()
 	go f.run()
 	return f
 }
@@ -230,23 +272,22 @@ func (f *Fabric) Reachable(a, b string) bool {
 	return f.component[a] == f.component[b]
 }
 
-// Stats returns a snapshot of the fabric counters.
+// Stats returns a consistent point-in-time snapshot of the fabric
+// counters; the per-kind maps are deep copies owned by the caller. See
+// the Stats type for the full snapshot semantics.
 func (f *Fabric) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	s := f.stats
-	s.PerKind = make(map[string]uint64, len(f.stats.PerKind))
-	for k, v := range f.stats.PerKind {
-		s.PerKind[k] = v
-	}
-	return s
+	return f.stats.clone()
 }
 
-// ResetStats zeroes the fabric counters (used between benchmark phases).
+// ResetStats zeroes the fabric counters, including the per-kind maps
+// (used between benchmark or experiment phases). Snapshots returned by
+// earlier Stats calls are unaffected.
 func (f *Fabric) ResetStats() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.stats = Stats{PerKind: make(map[string]uint64)}
+	f.stats = newStats()
 }
 
 // Endpoints returns the currently attached pids, in sorted order.
@@ -264,7 +305,7 @@ func (f *Fabric) Endpoints() []ids.PID {
 // send time; partition and liveness are re-checked at delivery time, so a
 // partition forming while a message is in flight also cuts it off.
 func (f *Fabric) send(from, to ids.PID, payload any) {
-	kind, size := describe(payload)
+	kind, size := Describe(payload)
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -273,6 +314,7 @@ func (f *Fabric) send(from, to ids.PID, payload any) {
 	f.stats.Sent++
 	f.stats.BytesSent += uint64(size)
 	f.stats.PerKind[kind]++
+	f.stats.PerKindBytes[kind] += uint64(size)
 	if f.component[from.Site] != f.component[to.Site] {
 		f.stats.DroppedPartition++
 		f.mu.Unlock()
@@ -380,10 +422,15 @@ func (f *Fabric) deliverLocked(msg Message) {
 		return
 	}
 	f.stats.Delivered++
+	f.stats.PerKindDelivered[msg.Kind]++
 	ep.inbox.Push(msg)
 }
 
-func describe(payload any) (kind string, size int) {
+// Describe classifies a payload for statistics: its kind label (via
+// Kinder, default "other") and nominal wire size in bytes (via Sizer,
+// default 1). Instrumentation layers use it to label packets the same
+// way the fabric does.
+func Describe(payload any) (kind string, size int) {
 	kind, size = "other", 1
 	if k, ok := payload.(Kinder); ok {
 		kind = k.FabricKind()

@@ -321,3 +321,76 @@ func TestUniformDelayBounds(t *testing.T) {
 		t.Fatal("clamp failed")
 	}
 }
+
+func TestStatsPerKindBytesAndDelivered(t *testing.T) {
+	f := fastFabric(t, Config{})
+	a := attach(t, f, pa)
+	b := attach(t, f, pb)
+	a.Send(pb, kindedPayload{k: "data"})
+	a.Send(pb, kindedPayload{k: "propose"})
+	for got := 0; got < 2; {
+		if _, ok := recvWithin(t, b, time.Second); !ok {
+			t.Fatal("delivery timeout")
+		} else {
+			got++
+		}
+	}
+	s := f.Stats()
+	if s.PerKindBytes["data"] != 64 || s.PerKindBytes["propose"] != 64 {
+		t.Fatalf("PerKindBytes = %v", s.PerKindBytes)
+	}
+	if s.PerKindDelivered["data"] != 1 || s.PerKindDelivered["propose"] != 1 {
+		t.Fatalf("PerKindDelivered = %v", s.PerKindDelivered)
+	}
+}
+
+// TestStatsSnapshotIsolation pins the documented snapshot semantics:
+// Stats returns a deep copy — mutating it, or traffic after the call,
+// must not show through; ResetStats starts a fresh epoch.
+func TestStatsSnapshotIsolation(t *testing.T) {
+	f := fastFabric(t, Config{})
+	a := attach(t, f, pa)
+	attach(t, f, pb)
+	a.Send(pb, kindedPayload{k: "data"})
+	snap := f.Stats()
+	if snap.PerKind["data"] != 1 {
+		t.Fatalf("PerKind = %v", snap.PerKind)
+	}
+
+	// Mutating the snapshot must not corrupt the fabric's live counters.
+	snap.PerKind["data"] = 99
+	snap.PerKindBytes["data"] = 99
+	if live := f.Stats(); live.PerKind["data"] != 1 || live.PerKindBytes["data"] != 64 {
+		t.Fatalf("snapshot mutation leaked into fabric: %+v", live)
+	}
+
+	// Traffic after the snapshot must not show in it.
+	a.Send(pb, kindedPayload{k: "data"})
+	if snap.PerKind["data"] != 99 {
+		t.Fatal("snapshot changed after later traffic")
+	}
+	if live := f.Stats(); live.PerKind["data"] != 2 {
+		t.Fatalf("PerKind after second send = %v", live.PerKind)
+	}
+
+	f.ResetStats()
+	s := f.Stats()
+	if s.Sent != 0 || s.BytesSent != 0 || len(s.PerKind) != 0 ||
+		len(s.PerKindBytes) != 0 || len(s.PerKindDelivered) != 0 {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+	// And the fresh epoch counts normally.
+	a.Send(pb, kindedPayload{k: "hb"})
+	if s := f.Stats(); s.PerKind["hb"] != 1 {
+		t.Fatalf("post-reset PerKind = %v", s.PerKind)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if k, n := Describe(kindedPayload{k: "propose"}); k != "propose" || n != 64 {
+		t.Fatalf("Describe(kinded) = %q, %d", k, n)
+	}
+	if k, n := Describe("untyped"); k != "other" || n != 1 {
+		t.Fatalf("Describe(string) = %q, %d", k, n)
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/lastfail"
 	"repro/internal/modes"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/simnet"
 	"repro/internal/sstate"
@@ -302,6 +303,43 @@ func OpenObject(fabric *Fabric, reg *Registry, site string, coreOpts Options, cf
 var (
 	// ErrNotServing is returned by ObjectHost.Multicast outside N-mode.
 	ErrNotServing = gobject.ErrNotServing
+)
+
+// Observability (internal/obs): a lock-cheap metrics registry and a
+// structured trace facility, folded together by a Collector that
+// implements the run-time's extended observer hooks.
+type (
+	// Metrics is a named collection of counters, gauges and histograms.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-serializable copy.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer is a bounded ring of structured protocol events.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace event.
+	TraceEvent = obs.Event
+	// TraceSink receives every appended trace event.
+	TraceSink = obs.Sink
+	// Collector turns observer callbacks into metrics and trace events.
+	Collector = obs.Collector
+	// ExtendedObserver adds fine-grained hooks (packets, ticks,
+	// suspicions, flush timing) to Observer; detected by type assertion.
+	ExtendedObserver = core.ExtendedObserver
+)
+
+// Observability constructors.
+var (
+	// NewMetrics creates an empty metrics registry.
+	NewMetrics = obs.NewRegistry
+	// NewTracer creates a trace ring with optional sinks.
+	NewTracer = obs.NewTracer
+	// NewCollector creates a collector over a registry and tracer.
+	NewCollector = obs.NewCollector
+	// NewJSONLSink writes trace events as JSON lines.
+	NewJSONLSink = obs.NewJSONLSink
+	// NewTextSink writes trace events as human-readable lines.
+	NewTextSink = obs.NewTextSink
+	// TeeObservers composes observers (e.g. a Recorder and a Collector).
+	TeeObservers = obs.Tee
 )
 
 // Trace checking (verifies P2.1–P2.3 and P6.1–P6.3 over executions).
