@@ -19,9 +19,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the full verification: vet + race across every package.
+# check is the full verification: vet + race across every package, plus
+# the static-vs-adaptive failure-detector ablation in short mode (the
+# quick cell asserts nothing but must run to completion).
 check: build
 	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) run ./cmd/vsbench -exp e7 -quick
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...

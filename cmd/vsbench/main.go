@@ -32,7 +32,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6")
+	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7")
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
@@ -56,8 +56,9 @@ func main() {
 	runners := map[string]func(experiments.Timing, int64, bool) error{
 		"f1": runF1, "f2": runF2, "f3": runF3,
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5, "e6": runE6,
+		"e7": runE7,
 	}
-	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6"}
+	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7"}
 
 	which := strings.ToLower(*exp)
 	if which == "all" {
@@ -248,6 +249,28 @@ func runE6(timing experiments.Timing, seed int64, quick bool) error {
 	for _, gap := range gaps {
 		for _, enriched := range []bool{false, true} {
 			row, err := experiments.RunE6(gap, window, enriched, timing, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(row)
+		}
+	}
+	return nil
+}
+
+func runE7(timing experiments.Timing, seed int64, quick bool) error {
+	header("E7 — static vs adaptive suspicion timeouts under delay jitter (ablation)",
+		"§2: failure detectors need only be eventually accurate; false suspicions are failures, so the timeout must track the network instead of being provisioned for it")
+	jitters := []time.Duration{time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond}
+	window := 1500 * time.Millisecond
+	if quick {
+		jitters = []time.Duration{25 * time.Millisecond}
+		window = time.Second
+	}
+	fmt.Println(experiments.E7Header)
+	for _, jitter := range jitters {
+		for _, adaptive := range []bool{false, true} {
+			row, err := experiments.RunE7(jitter, window, adaptive, timing, seed)
 			if err != nil {
 				return err
 			}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/ids"
 	"repro/internal/obs"
 	"repro/internal/simnet"
@@ -74,16 +75,9 @@ func run(n, steps int, seed int64, traceOut string) error {
 	})
 	defer fabric.Close()
 	reg := stable.NewRegistry()
-	opts := core.Options{
-		Group:          "trace",
-		HeartbeatEvery: 3 * time.Millisecond,
-		SuspectAfter:   18 * time.Millisecond,
-		Tick:           2 * time.Millisecond,
-		ProposeTimeout: 30 * time.Millisecond,
-		Enriched:       true,
-		LogViews:       true,
-		Observer:       observer,
-	}
+	timing := experiments.FastTiming()
+	timing.Observer = observer
+	opts := timing.Options("trace", true)
 
 	sites := make([]string, n)
 	live := make(map[string]*core.Process, n)

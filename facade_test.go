@@ -19,10 +19,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 	opts := Options{
 		Group:          "facade",
-		HeartbeatEvery: 3 * time.Millisecond,
-		SuspectAfter:   18 * time.Millisecond,
-		Tick:           2 * time.Millisecond,
-		ProposeTimeout: 30 * time.Millisecond,
+		HeartbeatEvery: SimHeartbeatEvery,
+		SuspectAfter:   SimSuspectAfter,
+		Tick:           SimTick,
+		ProposeTimeout: SimProposeTimeout,
 		Enriched:       true,
 		LogViews:       true,
 		Observer:       rec,

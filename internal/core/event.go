@@ -194,6 +194,11 @@ type ExtendedObserver interface {
 	// OnHeartbeatGap fires on each liveness indication from peer with
 	// the time elapsed since the previous one.
 	OnHeartbeatGap(self, peer ids.PID, gap time.Duration)
+	// OnEffectiveTimeout fires after each heartbeat-gap observation on a
+	// process running an adaptive failure detector (Options.AdaptiveFD)
+	// with peer's updated effective suspicion timeout. Never fired with
+	// a static detector.
+	OnEffectiveTimeout(self, peer ids.PID, timeout time.Duration)
 	// OnPropose fires when self starts coordinating a membership round
 	// for the given proposal and composition size; retry is set when the
 	// round replaces one whose acks timed out.

@@ -264,6 +264,10 @@ func TestOptionsDefaults(t *testing.T) {
 		o.Tick <= 0 || o.ProposeTimeout <= 0 || o.MismatchDwell <= 0 || o.Observer == nil {
 		t.Fatalf("defaults incomplete: %+v", o)
 	}
+	if o.FDDevK != DefaultFDDevK || o.FDWarmup != DefaultFDWarmup ||
+		o.FDFloor != 2*o.HeartbeatEvery || o.FDCeil != 4*o.SuspectAfter {
+		t.Fatalf("adaptive-FD defaults wrong: %+v", o)
+	}
 	set := Options{
 		Group:          "g",
 		HeartbeatEvery: time.Second,
@@ -271,9 +275,41 @@ func TestOptionsDefaults(t *testing.T) {
 		Tick:           time.Millisecond,
 		ProposeTimeout: time.Second,
 		MismatchDwell:  7,
+		FDDevK:         6,
+		FDFloor:        time.Second,
+		FDCeil:         time.Minute,
+		FDWarmup:       3,
 	}.withDefaults()
-	if set.HeartbeatEvery != time.Second || set.MismatchDwell != 7 {
+	if set.HeartbeatEvery != time.Second || set.MismatchDwell != 7 ||
+		set.FDDevK != 6 || set.FDFloor != time.Second ||
+		set.FDCeil != time.Minute || set.FDWarmup != 3 {
 		t.Fatal("withDefaults clobbered explicit values")
+	}
+	// An inverted clamp window is repaired, not honoured.
+	inv := Options{FDFloor: time.Minute, FDCeil: time.Second}.withDefaults()
+	if inv.FDCeil < inv.FDFloor {
+		t.Fatalf("inverted clamp window survived: floor %v ceil %v", inv.FDFloor, inv.FDCeil)
+	}
+}
+
+// TestAdaptiveFDConvergence runs the full stack with AdaptiveFD on: a
+// group forms, survives a crash (the adaptive timeout must still detect
+// real failures), and re-admits a recovered incarnation. Under -race
+// this also exercises the estimator on the live protocol loop.
+func TestAdaptiveFDConvergence(t *testing.T) {
+	n := newNet(t, 91)
+	opts := testOpts()
+	opts.AdaptiveFD = true
+	procs := n.startN(3, opts)
+	waitConverged(t, procs, convergeBudget)
+
+	procs[2].Crash()
+	waitConverged(t, procs[:2], convergeBudget)
+
+	p2b := n.start(siteName(2), opts)
+	waitConverged(t, []*Process{procs[0], procs[1], p2b}, convergeBudget)
+	for _, p := range []*Process{procs[0], procs[1], p2b} {
+		p.Leave()
 	}
 }
 

@@ -11,14 +11,17 @@ import (
 	"repro/internal/stable"
 )
 
-// testTimings are fast protocol timings for tests.
+// testOpts returns the shared simulation-speed profile. The numbers are
+// the Sim* constants that experiments.FastTiming (the profile's
+// harness-facing source) is built from; core's tests cannot import that
+// package without an import cycle.
 func testOpts() Options {
 	return Options{
 		Group:          "g",
-		HeartbeatEvery: 3 * time.Millisecond,
-		SuspectAfter:   18 * time.Millisecond,
-		Tick:           2 * time.Millisecond,
-		ProposeTimeout: 30 * time.Millisecond,
+		HeartbeatEvery: SimHeartbeatEvery,
+		SuspectAfter:   SimSuspectAfter,
+		Tick:           SimTick,
+		ProposeTimeout: SimProposeTimeout,
 		Enriched:       true,
 		LogViews:       true,
 	}

@@ -466,7 +466,11 @@ func (m *machine) onMergeReq(req pktMergeReq) {
 // ---- membership: tick, propose, ack, install ----
 
 func (m *machine) onTick(now time.Time) {
-	m.det.GC(now, 10*m.p.opts.SuspectAfter+time.Second)
+	// The GC horizon is derived from the largest timeout the detector
+	// can report (the adaptive ceiling, when enabled), so a peer whose
+	// adapted timeout grew under jitter is never dropped while its
+	// effective timeout could still clear it.
+	m.det.GC(now, 10*m.det.MaxTimeout()+time.Second)
 	for pid, t := range m.tombstones {
 		if now.Sub(t) > time.Minute {
 			delete(m.tombstones, pid)

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/fd"
+)
 
 // Options configures a Process. The zero value is completed with the
 // defaults below, chosen for simulation speed (millisecond scale) while
@@ -24,6 +28,26 @@ type Options struct {
 	// composition drift must persist before triggering a proposal;
 	// filters transient disagreement during install propagation.
 	MismatchDwell int
+
+	// AdaptiveFD enables per-peer adaptive suspicion timeouts: a
+	// Jacobson-style smoothed mean + FDDevK·deviation over the observed
+	// heartbeat gaps, clamped to [FDFloor, FDCeil]. Until FDWarmup gaps
+	// have been observed from a peer, the static SuspectAfter applies to
+	// it (and SuspectAfter remains the fallback for first contact).
+	AdaptiveFD bool
+	// FDDevK is the adaptive deviation multiplier (default 4, per
+	// Jacobson's RTO).
+	FDDevK float64
+	// FDFloor and FDCeil clamp the adaptive timeout. Defaults:
+	// 2*HeartbeatEvery and 4*SuspectAfter — a floor above one heartbeat
+	// period so scheduling noise alone cannot suspect, a ceiling that
+	// bounds detection latency (and the detector's GC horizon) however
+	// jittery the fabric gets.
+	FDFloor time.Duration
+	FDCeil  time.Duration
+	// FDWarmup is the per-peer gap-sample count before the adaptive
+	// timeout takes effect (default 8).
+	FDWarmup int
 
 	// Enriched enables the subview / sv-set machinery. When false the
 	// process delivers flat views (single subview, single sv-set) — the
@@ -53,6 +77,22 @@ const (
 	DefaultTick           = 2 * time.Millisecond
 	DefaultProposeTimeout = 40 * time.Millisecond
 	DefaultMismatchDwell  = 3
+
+	// Adaptive failure-detector defaults (see Options.AdaptiveFD).
+	DefaultFDDevK   = fd.DefaultDevK
+	DefaultFDWarmup = fd.DefaultWarmup
+)
+
+// Simulation-speed timing profile shared by every fast harness in the
+// tree. experiments.FastTiming() is the harness-facing source of this
+// profile; the constants live here only so that core's own tests — which
+// cannot import experiments without an import cycle — use the exact same
+// numbers instead of re-declaring drifting literals.
+const (
+	SimHeartbeatEvery = 3 * time.Millisecond
+	SimSuspectAfter   = 18 * time.Millisecond
+	SimTick           = 2 * time.Millisecond
+	SimProposeTimeout = 30 * time.Millisecond
 )
 
 // withDefaults fills unset fields.
@@ -74,6 +114,24 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MismatchDwell <= 0 {
 		o.MismatchDwell = DefaultMismatchDwell
+	}
+	// The adaptive knobs are validated unconditionally so that reading
+	// them back is meaningful whether or not AdaptiveFD is set; they are
+	// inert on a static detector.
+	if o.FDDevK <= 0 {
+		o.FDDevK = DefaultFDDevK
+	}
+	if o.FDFloor <= 0 {
+		o.FDFloor = 2 * o.HeartbeatEvery
+	}
+	if o.FDCeil <= 0 {
+		o.FDCeil = 4 * o.SuspectAfter
+	}
+	if o.FDCeil < o.FDFloor {
+		o.FDCeil = o.FDFloor
+	}
+	if o.FDWarmup <= 0 {
+		o.FDWarmup = DefaultFDWarmup
 	}
 	if o.Observer == nil {
 		o.Observer = nopObserver{}

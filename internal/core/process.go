@@ -393,7 +393,16 @@ type coordState struct {
 
 func (m *machine) init(p *Process) {
 	m.p = p
-	m.det = fd.New(p.opts.SuspectAfter)
+	if p.opts.AdaptiveFD {
+		m.det = fd.NewAdaptive(p.opts.SuspectAfter, fd.AdaptiveConfig{
+			K:      p.opts.FDDevK,
+			Floor:  p.opts.FDFloor,
+			Ceil:   p.opts.FDCeil,
+			Warmup: p.opts.FDWarmup,
+		})
+	} else {
+		m.det = fd.New(p.opts.SuspectAfter)
+	}
 	if tobs := p.tobs; tobs != nil {
 		self := p.pid
 		m.det.SetHooks(fd.Hooks{
@@ -402,6 +411,9 @@ func (m *machine) init(p *Process) {
 			},
 			SuspectChange: func(q ids.PID, suspected bool) {
 				tobs.OnSuspectChange(self, q, suspected)
+			},
+			EffectiveTimeout: func(q ids.PID, timeout time.Duration) {
+				tobs.OnEffectiveTimeout(self, q, timeout)
 			},
 		})
 	}

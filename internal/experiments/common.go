@@ -24,6 +24,10 @@ type Timing struct {
 	SuspectAfter   time.Duration
 	Tick           time.Duration
 	ProposeTimeout time.Duration
+	// AdaptiveFD switches the started processes to the adaptive
+	// failure-detector timeout (core.Options.AdaptiveFD); SuspectAfter
+	// then only serves as the pre-warmup fallback.
+	AdaptiveFD bool
 	// Observer, when non-nil, is attached to every process the
 	// experiment starts (vsbench -metrics wires an obs.Collector here).
 	// Experiments that install their own observer compose with it via
@@ -31,23 +35,29 @@ type Timing struct {
 	Observer core.Observer
 }
 
-// FastTiming is the default simulation-speed profile.
+// FastTiming is the default simulation-speed profile. It is the single
+// source of the fast-harness numbers: vstest.FastOptions, cmd/vstrace,
+// and the facade test all derive from it (via the core.Sim* constants it
+// is built from), so the profile cannot drift per harness again.
 func FastTiming() Timing {
 	return Timing{
-		HeartbeatEvery: 3 * time.Millisecond,
-		SuspectAfter:   18 * time.Millisecond,
-		Tick:           2 * time.Millisecond,
-		ProposeTimeout: 30 * time.Millisecond,
+		HeartbeatEvery: core.SimHeartbeatEvery,
+		SuspectAfter:   core.SimSuspectAfter,
+		Tick:           core.SimTick,
+		ProposeTimeout: core.SimProposeTimeout,
 	}
 }
 
-func (t Timing) options(group string, enriched bool) core.Options {
+// Options materializes the profile as the core options every harness
+// boots processes with (views logged, observer attached).
+func (t Timing) Options(group string, enriched bool) core.Options {
 	return core.Options{
 		Group:          group,
 		HeartbeatEvery: t.HeartbeatEvery,
 		SuspectAfter:   t.SuspectAfter,
 		Tick:           t.Tick,
 		ProposeTimeout: t.ProposeTimeout,
+		AdaptiveFD:     t.AdaptiveFD,
 		Enriched:       enriched,
 		LogViews:       true,
 		Observer:       t.Observer,

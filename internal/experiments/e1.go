@@ -35,7 +35,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 	storm := func(singleJoin bool) (int, time.Duration, error) {
 		e := newEnv(seed)
 		defer e.close()
-		opts := timing.options("e1", true)
+		opts := timing.Options("e1", true)
 		opts.SingleJoin = singleJoin
 
 		anchor, err := core.Start(e.fabric, e.reg, "anchor", opts)
@@ -85,7 +85,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 	// count the views one member installs from the heal to convergence.
 	e := newEnv(seed + 1)
 	defer e.close()
-	opts := timing.options("e1m", true)
+	opts := timing.Options("e1m", true)
 	var procs []*core.Process
 	var leftSites, rightSites []string
 	for i := 0; i < 2*m; i++ {

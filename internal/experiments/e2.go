@@ -46,7 +46,7 @@ func RunE2(n int, timing Timing, seed int64) (E2Row, error) {
 	}
 	e := newEnv(seed)
 	defer e.close()
-	opts := timing.options("e2", true)
+	opts := timing.Options("e2", true)
 
 	sites := make([]string, n)
 	rwSites := make([]string, n)

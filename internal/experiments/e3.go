@@ -83,7 +83,7 @@ func RunE3(stateBytes int, strategy transfer.Strategy, timing Timing, seed int64
 		timing.SuspectAfter = floor
 		timing.ProposeTimeout = floor
 	}
-	opts := timing.options("e3", true)
+	opts := timing.Options("e3", true)
 
 	donor, err := core.Start(e.fabric, e.reg, "donor", opts)
 	if err != nil {

@@ -69,7 +69,7 @@ func e4Transfer(timing Timing, seed int64) (E4Row, error) {
 	row := E4Row{Scenario: "partition repair (quorum object)", Expected: sstate.Transfer}
 	e := newEnv(seed)
 	defer e.close()
-	opts := timing.options("e4t", true)
+	opts := timing.Options("e4t", true)
 	const n = 4
 	rw := quorum.MajorityRW(quorum.Uniform("a", "b", "c", "d"))
 
@@ -116,7 +116,7 @@ func e4Creation(timing Timing, seed int64) (E4Row, error) {
 	row := E4Row{Scenario: "total failure recovery", Expected: sstate.Creation}
 	e := newEnv(seed)
 	defer e.close()
-	opts := timing.options("e4c", true)
+	opts := timing.Options("e4c", true)
 	const n = 3
 	rw := quorum.MajorityRW(quorum.Uniform("a", "b", "c"))
 
@@ -165,7 +165,7 @@ func e4Merging(timing Timing, seed int64, withJoiner bool) (E4Row, error) {
 	}
 	e := newEnv(seed)
 	defer e.close()
-	opts := timing.options("e4m", true)
+	opts := timing.Options("e4m", true)
 	const n = 4
 
 	procs := make([]*core.Process, 0, n)

@@ -36,7 +36,7 @@ func RunE5(n int, enriched bool, timing Timing, seed int64) (E5Row, error) {
 	row := E5Row{N: n, Enriched: enriched, Msgs: msgs}
 	e := newEnv(seed)
 	defer e.close()
-	opts := timing.options("e5", enriched)
+	opts := timing.Options("e5", enriched)
 
 	procs := make([]*core.Process, 0, n)
 	var delivered int64

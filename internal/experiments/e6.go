@@ -44,7 +44,7 @@ func RunE6(meanBetween, window time.Duration, enriched bool, timing Timing, seed
 
 	files := make([]*repfile.File, 0, n)
 	for _, s := range sites {
-		f, err := repfile.Open(e.fabric, e.reg, s, timing.options("e6", enriched), cfg)
+		f, err := repfile.Open(e.fabric, e.reg, s, timing.Options("e6", enriched), cfg)
 		if err != nil {
 			return row, err
 		}

@@ -39,7 +39,7 @@ func RunF1(timing Timing, seed int64) ([]F1Row, error) {
 
 	files := make([]*repfile.File, 0, n)
 	for _, s := range sites {
-		f, err := repfile.Open(e.fabric, e.reg, s, timing.options("f1", true), cfg)
+		f, err := repfile.Open(e.fabric, e.reg, s, timing.Options("f1", true), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +75,7 @@ func RunF1(timing Timing, seed int64) ([]F1Row, error) {
 	if err := waitMode(append(append([]*repfile.File{}, files[:2]...), files[3:]...), modes.Normal); err != nil {
 		return nil, fmt.Errorf("crash absorb: %w", err)
 	}
-	rec, err := repfile.Open(e.fabric, e.reg, sites[2], timing.options("f1", true), cfg)
+	rec, err := repfile.Open(e.fabric, e.reg, sites[2], timing.Options("f1", true), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +147,7 @@ func RunF2(timing Timing, seed int64) ([]F2Row, int, error) {
 	e := newEnv(seed)
 	defer e.close()
 	rec := check.NewRecorder()
-	opts := timing.options("f2", true)
+	opts := timing.Options("f2", true)
 	opts.Observer = obs.Tee(opts.Observer, rec)
 
 	const n = 6
@@ -238,7 +238,7 @@ func RunF3(n int, timing Timing, seed int64) (F3Row, error) {
 	e := newEnv(seed)
 	defer e.close()
 	rec := check.NewRecorder()
-	opts := timing.options("f3", true)
+	opts := timing.Options("f3", true)
 	opts.Observer = obs.Tee(opts.Observer, rec)
 
 	procs := make([]*core.Process, 0, n)

@@ -1,0 +1,138 @@
+package fd
+
+import "time"
+
+// Adaptive suspicion timeouts. A fixed timeout bakes one delay
+// distribution into the detector: too short and jitter produces false
+// suspicions (each one a needless Figure-1 Failure transition and view
+// change), too long and real failures go unnoticed. The estimator below
+// tracks, per peer, a Jacobson/TCP-RTO-style smoothed mean and mean
+// deviation of the observed heartbeat gaps and derives the timeout as
+//
+//	timeout = srtt + K*rttvar, clamped to [Floor, Ceil]
+//
+// falling back to the static timeout until Warmup samples have arrived.
+// The deviation is peak-hold rather than plain EWMA (see observe): it
+// must cover the longest silence, not the average gap. Within a stable
+// partition gaps concentrate around the heartbeat period, so the timeout
+// tightens and failures are detected faster; when the fabric turns
+// jittery the deviation term widens the timeout and false suspicions
+// subside — the "eventually accurate within a stable partition" behavior
+// the application model leans on.
+
+// Default adaptive-estimator parameters (Jacobson's RTO gains).
+const (
+	// DefaultDevK is the deviation multiplier K.
+	DefaultDevK = 4.0
+	// DefaultGain is the smoothed-mean EWMA gain (1/8).
+	DefaultGain = 0.125
+	// DefaultDevGain is the mean-deviation EWMA gain (1/4).
+	DefaultDevGain = 0.25
+	// DefaultWarmup is the per-peer gap-sample count before the adaptive
+	// timeout replaces the static one.
+	DefaultWarmup = 8
+)
+
+// AdaptiveConfig parametrizes an adaptive detector. The zero value of
+// any field is replaced by a validated default at construction.
+type AdaptiveConfig struct {
+	// K is the deviation multiplier: timeout = mean + K*dev.
+	K float64
+	// Floor and Ceil clamp the adaptive timeout. Defaults: static/4 and
+	// 4*static, where static is the detector's fallback timeout. The
+	// ceiling also bounds the detector's GC horizon (MaxTimeout).
+	Floor time.Duration
+	Ceil  time.Duration
+	// Warmup is the number of gap samples required from a peer before
+	// its adaptive timeout takes effect; until then the static timeout
+	// applies.
+	Warmup int
+	// Gain is the EWMA gain for the mean. DevGain scales the deviation
+	// decay (a spike lifts the deviation immediately; calm samples bleed
+	// it off at DevGain/32 — see observe).
+	Gain    float64
+	DevGain float64
+}
+
+// withDefaults validates the config against the static timeout.
+func (c AdaptiveConfig) withDefaults(static time.Duration) AdaptiveConfig {
+	if c.K <= 0 {
+		c.K = DefaultDevK
+	}
+	if c.Gain <= 0 || c.Gain > 1 {
+		c.Gain = DefaultGain
+	}
+	if c.DevGain <= 0 || c.DevGain > 1 {
+		c.DevGain = DefaultDevGain
+	}
+	if c.Floor <= 0 {
+		c.Floor = static / 4
+	}
+	if c.Ceil <= 0 {
+		c.Ceil = 4 * static
+	}
+	if c.Ceil < c.Floor {
+		c.Ceil = c.Floor
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = DefaultWarmup
+	}
+	return c
+}
+
+// gapEstimator is the per-peer Jacobson state, in seconds.
+type gapEstimator struct {
+	srtt   float64
+	rttvar float64
+	n      int
+}
+
+// observe folds one heartbeat gap into the estimate. The mean is plain
+// Jacobson EWMA; the deviation is peak-hold: a sample deviating beyond
+// the current estimate lifts it immediately, calm samples bleed it off
+// at DevGain. Plain EWMA deviation fails here: when delay jitter exceeds
+// the heartbeat period the arrival stream reorders, the many small
+// inter-arrival gaps wash the rare large ones out of a mean deviation,
+// and the timeout settles far below the silence tail — an "adaptive"
+// detector more trigger-happy than the static one it replaces. The
+// deviation must track the tail, not the average, because suspicion
+// compares the timeout against the longest silence, not the typical gap.
+func (e *gapEstimator) observe(gap time.Duration, cfg AdaptiveConfig) {
+	g := gap.Seconds()
+	if e.n == 0 {
+		e.srtt = g
+		e.rttvar = g / 2
+	} else {
+		dev := g - e.srtt
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > e.rttvar {
+			e.rttvar = dev
+		} else {
+			// Decay far slower than the spike rate: heartbeat gaps
+			// arrive hundreds of times per second, and the widened
+			// timeout must survive the calm stretch between two delay
+			// spikes or every spike pair costs a false suspicion.
+			e.rttvar += cfg.DevGain / 32 * (dev - e.rttvar)
+		}
+		e.srtt += cfg.Gain * (g - e.srtt)
+	}
+	e.n++
+}
+
+// timeout derives the clamped suspicion timeout, or static before
+// warmup.
+func (e *gapEstimator) timeout(cfg AdaptiveConfig, static time.Duration) time.Duration {
+	if e == nil || e.n < cfg.Warmup {
+		return static
+	}
+	t := time.Duration((e.srtt + cfg.K*e.rttvar) * float64(time.Second))
+	if t < cfg.Floor {
+		return cfg.Floor
+	}
+	if t > cfg.Ceil {
+		return cfg.Ceil
+	}
+	return t
+}

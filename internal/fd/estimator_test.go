@@ -1,0 +1,222 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// feed delivers count heartbeats from p spaced by gap, starting at t0,
+// and returns the time of the last one.
+func feed(d *Detector, p ids.PID, t0 time.Time, gap time.Duration, count int) time.Time {
+	t := t0
+	for i := 0; i < count; i++ {
+		d.Heard(p, t)
+		t = t.Add(gap)
+	}
+	return t.Add(-gap)
+}
+
+func TestAdaptiveFallbackBeforeWarmup(t *testing.T) {
+	static := 100 * time.Millisecond
+	d := NewAdaptive(static, AdaptiveConfig{Warmup: 5})
+	if got := d.TimeoutFor(pa); got != static {
+		t.Fatalf("timeout before any sample = %v, want static %v", got, static)
+	}
+	// 5 heartbeats = 4 gap samples: still below warmup.
+	feed(d, pa, time.Unix(0, 0), 3*time.Millisecond, 5)
+	if got := d.TimeoutFor(pa); got != static {
+		t.Fatalf("timeout below warmup = %v, want static %v", got, static)
+	}
+	// One more sample reaches warmup; the adapted timeout takes over.
+	feed(d, pa, time.Unix(1, 0), 3*time.Millisecond, 2)
+	if got := d.TimeoutFor(pa); got == static {
+		t.Fatalf("timeout after warmup still static (%v)", got)
+	}
+}
+
+func TestAdaptiveConvergesOnSteadyGaps(t *testing.T) {
+	static := 100 * time.Millisecond
+	floor := 4 * time.Millisecond
+	d := NewAdaptive(static, AdaptiveConfig{Floor: floor, Ceil: static})
+	// Steady 3 ms gaps: the deviation decays, so the timeout should sink
+	// to the floor — far below the static fallback. The peak-hold
+	// deviation bleeds off slowly on purpose (see observe), hence the
+	// long feed.
+	feed(d, pa, time.Unix(0, 0), 3*time.Millisecond, 800)
+	got := d.TimeoutFor(pa)
+	if got != floor {
+		t.Fatalf("steady-gap timeout = %v, want floor %v", got, floor)
+	}
+}
+
+func TestAdaptiveJitterWidensTimeout(t *testing.T) {
+	d := NewAdaptive(18*time.Millisecond, AdaptiveConfig{Floor: time.Millisecond, Ceil: time.Second})
+	// Alternating 1 ms / 12 ms gaps: mean ~6.5 ms, deviation ~5.5 ms, so
+	// mean + 4*dev must clear the largest observed gap with margin.
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		gap := time.Millisecond
+		if i%2 == 1 {
+			gap = 12 * time.Millisecond
+		}
+		now = now.Add(gap)
+		d.Heard(pa, now)
+	}
+	if got := d.TimeoutFor(pa); got <= 12*time.Millisecond {
+		t.Fatalf("jittery timeout = %v, want > largest gap (12ms)", got)
+	}
+	// And the peer must not be suspected right after a worst-case gap.
+	if d.Suspects(pa, now.Add(12*time.Millisecond)) {
+		t.Fatal("peer suspected within adapted timeout after worst-case gap")
+	}
+}
+
+func TestAdaptiveClamping(t *testing.T) {
+	static := 50 * time.Millisecond
+	floor := 10 * time.Millisecond
+	ceil := 80 * time.Millisecond
+	d := NewAdaptive(static, AdaptiveConfig{Floor: floor, Ceil: ceil, Warmup: 2})
+	// Tiny steady gaps: clamped up to the floor.
+	feed(d, pa, time.Unix(0, 0), 100*time.Microsecond, 50)
+	if got := d.TimeoutFor(pa); got != floor {
+		t.Fatalf("tiny-gap timeout = %v, want floor %v", got, floor)
+	}
+	// Huge steady gaps: clamped down to the ceiling.
+	feed(d, pb, time.Unix(10, 0), time.Second, 50)
+	if got := d.TimeoutFor(pb); got != ceil {
+		t.Fatalf("huge-gap timeout = %v, want ceil %v", got, ceil)
+	}
+	if got := d.MaxTimeout(); got != ceil {
+		t.Fatalf("MaxTimeout = %v, want ceil %v", got, ceil)
+	}
+}
+
+func TestAdaptiveForgetResetsPeerState(t *testing.T) {
+	static := 100 * time.Millisecond
+	d := NewAdaptive(static, AdaptiveConfig{Floor: 2 * time.Millisecond})
+	feed(d, pa, time.Unix(0, 0), 3*time.Millisecond, 50)
+	if d.TimeoutFor(pa) == static {
+		t.Fatal("estimator did not take over before Forget")
+	}
+	d.Forget(pa)
+	if got := d.TimeoutFor(pa); got != static {
+		t.Fatalf("timeout after Forget = %v, want static %v", got, static)
+	}
+	if len(d.est) != 0 {
+		t.Fatalf("Forget left estimator state: %v", d.est)
+	}
+	// Warmup restarts from scratch.
+	feed(d, pa, time.Unix(5, 0), 3*time.Millisecond, 3)
+	if got := d.TimeoutFor(pa); got != static {
+		t.Fatalf("timeout right after Forget+few samples = %v, want static", got)
+	}
+}
+
+func TestAdaptiveConfigDefaults(t *testing.T) {
+	static := 40 * time.Millisecond
+	cfg := AdaptiveConfig{}.withDefaults(static)
+	if cfg.K != DefaultDevK || cfg.Gain != DefaultGain || cfg.DevGain != DefaultDevGain || cfg.Warmup != DefaultWarmup {
+		t.Fatalf("zero config defaults wrong: %+v", cfg)
+	}
+	if cfg.Floor != static/4 || cfg.Ceil != 4*static {
+		t.Fatalf("clamp defaults wrong: %+v", cfg)
+	}
+	// An inverted clamp is repaired, not accepted.
+	inv := AdaptiveConfig{Floor: time.Second, Ceil: time.Millisecond}.withDefaults(static)
+	if inv.Ceil < inv.Floor {
+		t.Fatalf("inverted clamp survived: %+v", inv)
+	}
+}
+
+func TestEffectiveTimeoutHook(t *testing.T) {
+	d := NewAdaptive(100*time.Millisecond, AdaptiveConfig{Warmup: 2, Floor: time.Millisecond, Ceil: time.Second})
+	var got []time.Duration
+	d.SetHooks(Hooks{EffectiveTimeout: func(p ids.PID, timeout time.Duration) {
+		if p != pa {
+			t.Fatalf("hook for %v, want %v", p, pa)
+		}
+		got = append(got, timeout)
+	}})
+	feed(d, pa, time.Unix(0, 0), 5*time.Millisecond, 4) // 3 gap samples
+	if len(got) != 3 {
+		t.Fatalf("hook fired %d times, want 3", len(got))
+	}
+	// First sample is below warmup: the hook reports the static fallback.
+	if got[0] != 100*time.Millisecond {
+		t.Fatalf("pre-warmup hook value = %v, want static", got[0])
+	}
+	// Post-warmup values are adapted.
+	if got[2] == 100*time.Millisecond {
+		t.Fatalf("post-warmup hook value still static")
+	}
+	// A static detector never fires the hook.
+	s := New(100 * time.Millisecond)
+	s.SetHooks(Hooks{EffectiveTimeout: func(ids.PID, time.Duration) {
+		t.Fatal("EffectiveTimeout fired on static detector")
+	}})
+	feed(s, pa, time.Unix(0, 0), 5*time.Millisecond, 4)
+}
+
+// TestInterleavings drives a seeded random schedule of every detector
+// operation over both detector flavors and checks structural invariants
+// after each step. Run under -race via `make check` (the detector is
+// goroutine-confined; this guards the single-threaded state machine).
+func TestInterleavings(t *testing.T) {
+	peers := []ids.PID{pa, pb, {Site: "c", Inc: 1}, {Site: "d", Inc: 2}}
+	for name, mk := range map[string]func() *Detector{
+		"static":   func() *Detector { return New(10 * time.Millisecond) },
+		"adaptive": func() *Detector { return NewAdaptive(10*time.Millisecond, AdaptiveConfig{Warmup: 3}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := mk()
+			d.SetHooks(Hooks{
+				HeartbeatGap:     func(ids.PID, time.Duration) {},
+				SuspectChange:    func(ids.PID, bool) {},
+				EffectiveTimeout: func(ids.PID, time.Duration) {},
+			})
+			r := rand.New(rand.NewSource(7))
+			now := time.Unix(0, 0)
+			for step := 0; step < 5000; step++ {
+				p := peers[r.Intn(len(peers))]
+				switch r.Intn(10) {
+				case 0, 1, 2, 3:
+					// Mix fresh and stale (backdated) indications.
+					d.Heard(p, now.Add(time.Duration(r.Intn(7)-3)*time.Millisecond))
+				case 4, 5:
+					d.Alive(now)
+				case 6:
+					d.ForceSuspect(p)
+				case 7:
+					d.Unforce(p)
+				case 8:
+					d.Forget(p)
+				case 9:
+					d.GC(now, 25*time.Millisecond)
+				}
+				now = now.Add(time.Duration(r.Intn(4)) * time.Millisecond)
+
+				// Invariants: forced peers are suspected; effective
+				// timeouts stay within [min(static,floor), max].
+				for _, q := range peers {
+					if _, forced := d.forced[q]; forced && !d.Suspects(q, now) {
+						t.Fatalf("step %d: forced %v not suspected", step, q)
+					}
+					to := d.TimeoutFor(q)
+					if to <= 0 || to > d.MaxTimeout() {
+						t.Fatalf("step %d: TimeoutFor(%v) = %v out of range", step, q, to)
+					}
+				}
+			}
+			// After a final GC that ages everyone out, every map must be
+			// empty — the leak regression (GC must bound all maps).
+			d.GC(now.Add(time.Hour), time.Minute)
+			if len(d.lastHeard) != 0 || len(d.forced) != 0 || len(d.suspState) != 0 || len(d.est) != 0 {
+				t.Fatalf("GC left state: lastHeard=%d forced=%d suspState=%d est=%d",
+					len(d.lastHeard), len(d.forced), len(d.suspState), len(d.est))
+			}
+		})
+	}
+}

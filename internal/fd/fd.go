@@ -8,7 +8,9 @@
 //
 // The detector is passive: the protocol event loop feeds it heartbeats and
 // polls it on its own ticks, so all detector state stays confined to that
-// loop (no internal goroutine, no locks).
+// loop (no internal goroutine, no locks). The suspicion timeout is either
+// static (New) or adapted per peer from the observed heartbeat gaps
+// (NewAdaptive; see estimator.go).
 package fd
 
 import (
@@ -29,12 +31,21 @@ type Hooks struct {
 	// poll) or is force-suspected, false when a liveness indication
 	// clears the suspicion (including first contact).
 	SuspectChange func(p ids.PID, suspected bool)
+	// EffectiveTimeout fires after each gap observation on an adaptive
+	// detector with p's updated effective suspicion timeout (the static
+	// timeout while p is still warming up). Never fired by a static
+	// detector.
+	EffectiveTimeout func(p ids.PID, timeout time.Duration)
 }
 
 // Detector tracks the set of peers a process has heard from recently.
 // Not safe for concurrent use; confine to one goroutine.
 type Detector struct {
-	timeout   time.Duration
+	timeout  time.Duration
+	adaptive bool
+	acfg     AdaptiveConfig
+	// est holds per-peer gap estimators; non-nil only when adaptive.
+	est       map[ids.PID]*gapEstimator
 	lastHeard map[ids.PID]time.Time
 	forced    map[ids.PID]struct{}
 	hooks     Hooks
@@ -54,6 +65,18 @@ func New(timeout time.Duration) *Detector {
 	}
 }
 
+// NewAdaptive returns a detector whose suspicion timeout adapts per peer
+// to the observed heartbeat gaps (mean + K*deviation, clamped), using
+// static as the fallback until a peer's estimator warms up. cfg fields
+// left zero get validated defaults derived from static.
+func NewAdaptive(static time.Duration, cfg AdaptiveConfig) *Detector {
+	d := New(static)
+	d.adaptive = true
+	d.acfg = cfg.withDefaults(static)
+	d.est = make(map[ids.PID]*gapEstimator)
+	return d
+}
+
 // SetHooks installs instrumentation callbacks. Pass the zero Hooks to
 // disable. With no hooks installed the detector's behavior and cost are
 // unchanged.
@@ -71,18 +94,57 @@ func (d *Detector) noteSusp(p ids.PID, suspected bool) {
 	d.hooks.SuspectChange(p, suspected)
 }
 
-// Timeout returns the suspicion timeout.
+// Timeout returns the static suspicion timeout (the adaptive fallback).
 func (d *Detector) Timeout() time.Duration { return d.timeout }
 
-// Heard records a liveness indication (heartbeat or any message) from p
-// at the given time.
-func (d *Detector) Heard(p ids.PID, now time.Time) {
-	if t, ok := d.lastHeard[p]; !ok || now.After(t) {
-		if ok && d.hooks.HeartbeatGap != nil {
-			d.hooks.HeartbeatGap(p, now.Sub(t))
-		}
-		d.lastHeard[p] = now
+// TimeoutFor returns the effective suspicion timeout for p: the static
+// timeout on a static detector or while p's estimator is warming up,
+// otherwise p's adapted timeout.
+func (d *Detector) TimeoutFor(p ids.PID) time.Duration {
+	if !d.adaptive {
+		return d.timeout
 	}
+	return d.est[p].timeout(d.acfg, d.timeout)
+}
+
+// MaxTimeout bounds the effective timeout the detector can report for
+// any peer: the static timeout, or the adaptive ceiling if larger.
+// Callers derive GC horizons from it.
+func (d *Detector) MaxTimeout() time.Duration {
+	if d.adaptive && d.acfg.Ceil > d.timeout {
+		return d.acfg.Ceil
+	}
+	return d.timeout
+}
+
+// Heard records a liveness indication (heartbeat or any message) from p
+// at the given time. Stale indications — not after the freshest one
+// already recorded, e.g. a reordered heartbeat — are ignored entirely:
+// they must neither roll liveness back nor clear a suspicion that the
+// fresher state justifies.
+func (d *Detector) Heard(p ids.PID, now time.Time) {
+	t, ok := d.lastHeard[p]
+	if ok && !now.After(t) {
+		return
+	}
+	if ok {
+		gap := now.Sub(t)
+		if d.hooks.HeartbeatGap != nil {
+			d.hooks.HeartbeatGap(p, gap)
+		}
+		if d.adaptive {
+			e := d.est[p]
+			if e == nil {
+				e = &gapEstimator{}
+				d.est[p] = e
+			}
+			e.observe(gap, d.acfg)
+			if d.hooks.EffectiveTimeout != nil {
+				d.hooks.EffectiveTimeout(p, e.timeout(d.acfg, d.timeout))
+			}
+		}
+	}
+	d.lastHeard[p] = now
 	if _, forced := d.forced[p]; !forced {
 		d.noteSusp(p, false)
 	}
@@ -94,6 +156,7 @@ func (d *Detector) Forget(p ids.PID) {
 	delete(d.lastHeard, p)
 	delete(d.forced, p)
 	delete(d.suspState, p)
+	delete(d.est, p)
 }
 
 // ForceSuspect injects a false suspicion of p: Suspects(p) reports true
@@ -117,7 +180,7 @@ func (d *Detector) Suspects(p ids.PID, now time.Time) bool {
 	if !ok {
 		return true
 	}
-	return now.Sub(t) > d.timeout
+	return now.Sub(t) > d.TimeoutFor(p)
 }
 
 // Known returns every peer the detector has ever heard from and not
@@ -146,11 +209,31 @@ func (d *Detector) Alive(now time.Time) ids.PIDSet {
 }
 
 // GC drops peers silent for longer than keep, bounding detector state in
-// long executions with many incarnations.
+// long executions with many incarnations. All maps are bounded: entries
+// in the auxiliary maps (forced flags, hook state, estimators) whose
+// peer has no lastHeard timestamp — a ForceSuspect of a peer never heard
+// from — have no silence to age out and are dropped immediately; such a
+// peer is suspected regardless (unknown peers always are), so only a
+// redundant flag is lost.
 func (d *Detector) GC(now time.Time, keep time.Duration) {
 	for p, t := range d.lastHeard {
 		if now.Sub(t) > keep {
 			d.Forget(p)
+		}
+	}
+	for p := range d.forced {
+		if _, ok := d.lastHeard[p]; !ok {
+			delete(d.forced, p)
+		}
+	}
+	for p := range d.suspState {
+		if _, ok := d.lastHeard[p]; !ok {
+			delete(d.suspState, p)
+		}
+	}
+	for p := range d.est {
+		if _, ok := d.lastHeard[p]; !ok {
+			delete(d.est, p)
 		}
 	}
 }

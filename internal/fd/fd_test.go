@@ -171,6 +171,61 @@ func TestHooksForceSuspect(t *testing.T) {
 	}
 }
 
+func TestStaleHeardDoesNotClearSuspicion(t *testing.T) {
+	// Regression: a stale liveness indication (timestamp not after the
+	// freshest one recorded) used to clear the reported suspicion even
+	// though the peer had legitimately timed out since.
+	d := New(10 * time.Millisecond)
+	var flips []bool
+	d.SetHooks(Hooks{SuspectChange: func(p ids.PID, s bool) { flips = append(flips, s) }})
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0)                        // first contact -> cleared
+	d.Alive(t0.Add(20 * time.Millisecond)) // timed out -> suspected
+	d.Heard(pa, t0)                        // stale: must NOT clear
+	want := []bool{false, true}
+	if len(flips) != len(want) || flips[0] != want[0] || flips[1] != want[1] {
+		t.Fatalf("flips = %v, want %v (stale Heard cleared a suspicion)", flips, want)
+	}
+	if !d.Suspects(pa, t0.Add(20*time.Millisecond)) {
+		t.Fatal("peer unsuspected by a stale indication")
+	}
+	// A genuinely fresh indication still clears it.
+	d.Heard(pa, t0.Add(25*time.Millisecond))
+	if len(flips) != 3 || flips[2] != false {
+		t.Fatalf("fresh Heard did not clear: flips = %v", flips)
+	}
+}
+
+func TestGCBoundsAllMaps(t *testing.T) {
+	// Regression: a peer that was ForceSuspect'ed but never heard from
+	// had no lastHeard entry, so GC never dropped its forced/suspState
+	// entries.
+	d := New(10 * time.Millisecond)
+	d.SetHooks(Hooks{SuspectChange: func(ids.PID, bool) {}})
+	t0 := time.Unix(0, 0)
+	d.Heard(pa, t0)
+	d.ForceSuspect(pb) // never heard from
+	if len(d.forced) != 1 || len(d.suspState) != 2 {
+		t.Fatalf("setup: forced=%d suspState=%d", len(d.forced), len(d.suspState))
+	}
+	// A GC that keeps pa must still drop the never-heard pb entries.
+	d.GC(t0.Add(time.Millisecond), time.Second)
+	if _, ok := d.forced[pb]; ok {
+		t.Fatal("GC left forced entry for never-heard peer")
+	}
+	if _, ok := d.suspState[pb]; ok {
+		t.Fatal("GC left suspState entry for never-heard peer")
+	}
+	if !d.Known().Has(pa) {
+		t.Fatal("GC dropped a live peer")
+	}
+	// Aging pa out empties everything.
+	d.GC(t0.Add(time.Hour), time.Second)
+	if len(d.lastHeard)+len(d.forced)+len(d.suspState) != 0 {
+		t.Fatalf("GC left state: %v %v %v", d.lastHeard, d.forced, d.suspState)
+	}
+}
+
 func TestNoHooksNoTracking(t *testing.T) {
 	// Without hooks the detector must not accumulate suspState entries.
 	d := New(time.Hour)

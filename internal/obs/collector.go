@@ -18,7 +18,13 @@ const (
 	MetricViewProposals   = "view.proposals"
 	MetricViewRetries     = "view.proposal_retries"
 	MetricViewBlocks      = "view.blocks"
-	MetricSuspicions      = "fd.suspicions"
+	MetricSuspicions = "fd.suspicions"
+	// MetricFalseSuspicions counts suspicions later revoked by a fresh
+	// liveness indication from the same incarnation — i.e. the peer was
+	// alive the whole time (a crashed site returns as a new PID, so its
+	// suspicion is never cleared). Forced suspicions that get cleared
+	// count too: they are false by construction.
+	MetricFalseSuspicions = "fd.false_suspicion_total"
 	MetricEChangeApplied  = "echange.applied"
 	MetricEChangeRequests = "echange.requests"
 	MetricFlushRecovered  = "flush.recovered_msgs"
@@ -35,6 +41,10 @@ const (
 	MetricFlushDuration     = "flush.duration_s"
 	MetricTickDuration      = "tick.duration_s"
 	MetricHeartbeatGap      = "fd.heartbeat_gap_s"
+	// MetricFDEffectiveTimeout records every adaptive-timeout update
+	// (one observation per heartbeat-gap sample on processes running
+	// with Options.AdaptiveFD).
+	MetricFDEffectiveTimeout = "fd.effective_timeout_s"
 
 	// Per-kind counter prefixes.
 	MetricPktSentPrefix   = "pkts.sent."
@@ -67,6 +77,7 @@ type Collector struct {
 	viewRetries    *Counter
 	viewBlocks     *Counter
 	suspicions     *Counter
+	falseSusp      *Counter
 	echApplied     *Counter
 	echRequests    *Counter
 	flushRecovered *Counter
@@ -79,6 +90,7 @@ type Collector struct {
 	flushDuration  *Histogram
 	tickDuration   *Histogram
 	heartbeatGap   *Histogram
+	effTimeout     *Histogram
 
 	kindMu sync.RWMutex
 	sent   map[string]*kindCounters
@@ -86,7 +98,14 @@ type Collector struct {
 
 	mu    sync.Mutex
 	procs map[ids.PID]*procObs
+	// susp is the last suspicion state seen per (observer, peer) pair,
+	// used to tell a revoked (false) suspicion from a first-contact
+	// clear.
+	susp map[pidPair]bool
 }
+
+// pidPair keys per-(observer, peer) state.
+type pidPair struct{ self, peer ids.PID }
 
 // kindCounters are the msg/byte counter pair for one packet kind and
 // direction.
@@ -119,6 +138,7 @@ func NewCollector(reg *Registry, tr *Tracer) *Collector {
 		viewRetries:    reg.Counter(MetricViewRetries),
 		viewBlocks:     reg.Counter(MetricViewBlocks),
 		suspicions:     reg.Counter(MetricSuspicions),
+		falseSusp:      reg.Counter(MetricFalseSuspicions),
 		echApplied:     reg.Counter(MetricEChangeApplied),
 		echRequests:    reg.Counter(MetricEChangeRequests),
 		flushRecovered: reg.Counter(MetricFlushRecovered),
@@ -131,9 +151,11 @@ func NewCollector(reg *Registry, tr *Tracer) *Collector {
 		flushDuration:  reg.Histogram(MetricFlushDuration, DurationBuckets),
 		tickDuration:   reg.Histogram(MetricTickDuration, DurationBuckets),
 		heartbeatGap:   reg.Histogram(MetricHeartbeatGap, GapBuckets),
+		effTimeout:     reg.Histogram(MetricFDEffectiveTimeout, GapBuckets),
 		sent:           make(map[string]*kindCounters),
 		recv:           make(map[string]*kindCounters),
 		procs:          make(map[ids.PID]*procObs),
+		susp:           make(map[pidPair]bool),
 	}
 }
 
@@ -225,13 +247,23 @@ func (c *Collector) OnEChange(self ids.PID, ev core.EChangeEvent) {
 
 // ---- core.ExtendedObserver ----
 
-// OnSuspectChange implements core.ExtendedObserver.
+// OnSuspectChange implements core.ExtendedObserver. A clear that revokes
+// a standing suspicion of the same incarnation means the peer was alive
+// all along — a false suspicion (see MetricFalseSuspicions).
 func (c *Collector) OnSuspectChange(self, peer ids.PID, suspected bool) {
+	key := pidPair{self, peer}
+	c.mu.Lock()
+	wasSuspected := c.susp[key]
+	c.susp[key] = suspected
+	c.mu.Unlock()
 	note := "cleared"
 	if suspected {
 		note = "suspected"
 		c.suspicions.Inc()
 		c.markChange(self)
+	} else if wasSuspected {
+		note = "false-suspicion"
+		c.falseSusp.Inc()
 	}
 	c.emit(Event{PID: self.String(), Type: EvSuspect, Peer: peer.String(), Note: note})
 }
@@ -239,6 +271,11 @@ func (c *Collector) OnSuspectChange(self, peer ids.PID, suspected bool) {
 // OnHeartbeatGap implements core.ExtendedObserver.
 func (c *Collector) OnHeartbeatGap(_, _ ids.PID, gap time.Duration) {
 	c.heartbeatGap.ObserveDuration(gap)
+}
+
+// OnEffectiveTimeout implements core.ExtendedObserver.
+func (c *Collector) OnEffectiveTimeout(_, _ ids.PID, timeout time.Duration) {
+	c.effTimeout.ObserveDuration(timeout)
 }
 
 // OnPropose implements core.ExtendedObserver.
@@ -421,6 +458,12 @@ func (t *teeExt) OnSuspectChange(self, peer ids.PID, suspected bool) {
 func (t *teeExt) OnHeartbeatGap(self, peer ids.PID, gap time.Duration) {
 	for _, o := range t.ext {
 		o.OnHeartbeatGap(self, peer, gap)
+	}
+}
+
+func (t *teeExt) OnEffectiveTimeout(self, peer ids.PID, timeout time.Duration) {
+	for _, o := range t.ext {
+		o.OnEffectiveTimeout(self, peer, timeout)
 	}
 }
 

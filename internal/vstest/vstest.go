@@ -17,14 +17,17 @@ import (
 	"repro/internal/stable"
 )
 
-// FastOptions returns protocol options tuned for simulation speed.
+// FastOptions returns protocol options tuned for simulation speed — the
+// same profile as experiments.FastTiming, via the core.Sim* constants it
+// is built from (importing experiments here would cycle through the app
+// packages whose tests use this harness).
 func FastOptions() core.Options {
 	return core.Options{
 		Group:          "g",
-		HeartbeatEvery: 3 * time.Millisecond,
-		SuspectAfter:   18 * time.Millisecond,
-		Tick:           2 * time.Millisecond,
-		ProposeTimeout: 30 * time.Millisecond,
+		HeartbeatEvery: core.SimHeartbeatEvery,
+		SuspectAfter:   core.SimSuspectAfter,
+		Tick:           core.SimTick,
+		ProposeTimeout: core.SimProposeTimeout,
 		Enriched:       true,
 		LogViews:       true,
 	}

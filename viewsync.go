@@ -154,6 +154,15 @@ var (
 	ErrBlocked = core.ErrBlocked
 )
 
+// The simulation-speed timing profile every fast harness in this repo
+// runs with (see experiments.FastTiming).
+const (
+	SimHeartbeatEvery = core.SimHeartbeatEvery
+	SimSuspectAfter   = core.SimSuspectAfter
+	SimTick           = core.SimTick
+	SimProposeTimeout = core.SimProposeTimeout
+)
+
 // The application model (§3, Figure 1).
 type (
 	// Mode is a group-object execution mode (N / R / S).
