@@ -21,10 +21,14 @@ race:
 
 # check is the full verification: vet + race across every package, plus
 # the static-vs-adaptive failure-detector ablation in short mode (the
-# quick cell asserts nothing but must run to completion).
+# quick cell asserts nothing but must run to completion), plus a quick
+# E1 whose captured trace must pass every offline checker (vstrace
+# -analyze exits non-zero on any paper-invariant violation).
 check: build
 	$(GO) vet ./... && $(GO) test -race ./...
 	$(GO) run ./cmd/vsbench -exp e7 -quick
+	$(GO) run ./cmd/vsbench -exp e1 -quick -trace-out /tmp/vsbench-e1-check.jsonl
+	$(GO) run ./cmd/vstrace -analyze /tmp/vsbench-e1-check.jsonl
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...

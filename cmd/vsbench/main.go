@@ -9,15 +9,22 @@
 //	go run ./cmd/vsbench -seed 7                # different seed
 //	go run ./cmd/vsbench -quick                 # smaller sweeps
 //	go run ./cmd/vsbench -exp e1 -metrics m.json  # dump a metrics snapshot
+//	go run ./cmd/vsbench -exp e1 -quick -trace-out e1.jsonl  # JSONL event trace
 //
 // With -metrics, every protocol stack the experiments start is
 // instrumented with an obs.Collector sharing one registry, and a JSON
 // snapshot (counters, gauges, histograms — see the README
 // "Observability" section for the schema) is written to the given file
 // when the run completes.
+//
+// With -trace-out, the same collector streams every protocol event to
+// a JSONL file, with run-boundary markers between experiments (and
+// between an experiment's internal sub-scenarios) so the trace can be
+// analyzed offline with vstrace -analyze.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace of protocol events to this file")
 	flag.Parse()
 
 	timing := experiments.FastTiming()
@@ -50,7 +58,23 @@ func main() {
 		}
 		metricsFile = f
 		reg = obs.NewRegistry()
-		timing.Observer = obs.NewCollector(reg, nil)
+	}
+	var traceBuf *bufio.Writer
+	var traceFile *os.File
+	var jsonl *obs.JSONLSink
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("vsbench: %v", err)
+		}
+		traceFile = f
+		traceBuf = bufio.NewWriter(f)
+		jsonl = obs.NewJSONLSink(traceBuf)
+		tracer = obs.NewTracer(0, jsonl)
+	}
+	if reg != nil || tracer != nil {
+		timing.Observer = obs.NewCollector(reg, tracer)
 	}
 
 	runners := map[string]func(experiments.Timing, int64, bool) error{
@@ -63,6 +87,7 @@ func main() {
 	which := strings.ToLower(*exp)
 	if which == "all" {
 		for _, name := range order {
+			timing.MarkRun(name)
 			if err := runners[name](timing, *seed, *quick); err != nil {
 				log.Fatalf("vsbench: %s: %v", name, err)
 			}
@@ -86,6 +111,20 @@ func main() {
 			log.Fatalf("vsbench: %v", err)
 		}
 		fmt.Printf("\nmetrics snapshot written to %s\n", *metrics)
+	}
+	if traceBuf != nil {
+		// Experiments stop every process they start before returning, so
+		// no observer callback can race the flush here.
+		if err := traceBuf.Flush(); err != nil {
+			log.Fatalf("vsbench: flush trace: %v", err)
+		}
+		if err := jsonl.Err(); err != nil {
+			log.Fatalf("vsbench: write trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("vsbench: %v", err)
+		}
+		fmt.Printf("\nstructured trace written to %s\n", *traceOut)
 	}
 }
 

@@ -11,11 +11,22 @@
 //	go run ./cmd/vstrace -n 6 -steps 40  # bigger group, longer schedule
 //	go run ./cmd/vstrace -seed 7         # a different schedule
 //	go run ./cmd/vstrace -trace-out trace.jsonl  # structured event stream
+//	go run ./cmd/vstrace -analyze trace.jsonl    # offline trace checking
+//	go run ./cmd/vstrace -diff a.jsonl b.jsonl   # first divergence of two traces
 //
 // With -trace-out, every process is additionally instrumented with an
 // obs tracer and the full event stream (sends, deliveries, suspicions,
 // proposals, installs, e-changes — one JSON object per line, see the
 // README "Observability" section) is written to the given file.
+//
+// -analyze reads a JSONL trace back (tolerating a truncated tail),
+// reconstructs per-process, per-view timelines, and runs the
+// internal/tracecheck invariant suite — agreement, e-change total
+// order, structure survival, mode legality, flush discipline —
+// exiting 1 if any checker finds a violation. -diff aligns two traces
+// of the same scenario (e.g. two seeds) by view lineage and event
+// type and reports the first divergence. Every live run also pipes
+// its own event stream through the same checkers in-process.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/stable"
+	"repro/internal/tracecheck"
 )
 
 func main() {
@@ -43,17 +55,80 @@ func main() {
 	steps := flag.Int("steps", 30, "schedule length")
 	seed := flag.Int64("seed", 1, "schedule seed")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace of protocol events to this file")
+	analyze := flag.String("analyze", "", "analyze a JSONL trace file instead of running a schedule; exit 1 on violation")
+	diff := flag.Bool("diff", false, "diff two JSONL trace files (two positional args); report the first divergence")
 	flag.Parse()
-	if err := run(*n, *steps, *seed, *traceOut); err != nil {
-		log.Fatalf("vstrace: %v", err)
+	switch {
+	case *analyze != "":
+		if err := runAnalyze(*analyze); err != nil {
+			log.Fatalf("vstrace: %v", err)
+		}
+	case *diff:
+		if flag.NArg() != 2 {
+			log.Fatal("vstrace: -diff needs exactly two trace files")
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatalf("vstrace: %v", err)
+		}
+	default:
+		if err := run(*n, *steps, *seed, *traceOut); err != nil {
+			log.Fatalf("vstrace: %v", err)
+		}
 	}
+}
+
+// runAnalyze reads a trace file and runs the full checker suite over
+// it, returning an error (exit 1) when any violation is found.
+func runAnalyze(path string) error {
+	events, malformed, err := tracecheck.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep := tracecheck.Check(events)
+	rep.Summary.Malformed = malformed
+	rep.Summary.Write(os.Stdout)
+	if rep.OK() {
+		fmt.Println("no violations: agreement, e-change order, structure survival, mode legality, flush discipline all hold")
+		return nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(os.Stderr, "VIOLATION: %v\n", v)
+	}
+	return fmt.Errorf("%d trace violation(s)", len(rep.Violations))
+}
+
+// runDiff aligns two traces by view lineage and event type and
+// reports the first divergence. A divergence is information, not a
+// failure: the exit code stays 0 unless a file cannot be read.
+func runDiff(pathA, pathB string) error {
+	a, malA, err := tracecheck.ReadFile(pathA)
+	if err != nil {
+		return err
+	}
+	b, malB, err := tracecheck.ReadFile(pathB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("a: %s (%d events, %d malformed)\nb: %s (%d events, %d malformed)\n",
+		pathA, len(a), malA, pathB, len(b), malB)
+	d := tracecheck.Diff(a, b)
+	if d == nil {
+		fmt.Println("traces are equivalent up to schedule-dependent identifiers")
+		return nil
+	}
+	fmt.Println(d)
+	return nil
 }
 
 func run(n, steps int, seed int64, traceOut string) error {
 	r := rand.New(rand.NewSource(seed))
 	rec := check.NewRecorder()
 
-	var observer core.Observer = rec
+	// Every run keeps its event stream in memory and feeds it through
+	// the tracecheck suite at the end; -trace-out additionally streams
+	// it to a JSONL file.
+	mem := obs.NewMemorySink()
+	sinks := []obs.Sink{mem}
 	var traceFile *os.File
 	var traceBuf *bufio.Writer
 	var jsonl *obs.JSONLSink
@@ -66,9 +141,10 @@ func run(n, steps int, seed int64, traceOut string) error {
 		defer traceFile.Close()
 		traceBuf = bufio.NewWriter(traceFile)
 		jsonl = obs.NewJSONLSink(traceBuf)
-		coll := obs.NewCollector(nil, obs.NewTracer(0, jsonl))
-		observer = obs.Tee(rec, coll)
+		sinks = append(sinks, jsonl)
 	}
+	coll := obs.NewCollector(nil, obs.NewTracer(0, sinks...))
+	observer := obs.Tee(rec, coll)
 	fabric := simnet.New(simnet.Config{
 		Delay: simnet.NewUniformDelay(50*time.Microsecond, 400*time.Microsecond, seed+1),
 		Seed:  seed,
@@ -191,12 +267,13 @@ func run(n, steps int, seed int64, traceOut string) error {
 	s := rec.Summary()
 	fmt.Printf("\ntrace: %d processes, %d sends, %d deliveries, %d views, %d e-changes\n",
 		s.Processes, s.Sends, s.Deliveries, s.Views, s.EChanges)
+	// Stop the processes first: Crash blocks until the protocol loop
+	// exits, so no observer callback can race the buffer flush or the
+	// in-memory stream handed to the checkers.
+	for _, p := range all() {
+		p.Crash()
+	}
 	if traceBuf != nil {
-		// Stop the processes first: Crash blocks until the protocol loop
-		// exits, so no observer callback can race the buffer flush.
-		for _, p := range all() {
-			p.Crash()
-		}
 		if err := traceBuf.Flush(); err != nil {
 			return fmt.Errorf("flush trace: %w", err)
 		}
@@ -207,8 +284,13 @@ func run(n, steps int, seed int64, traceOut string) error {
 	}
 	errs := rec.Verify()
 	check.SortErrors(errs)
+	rep := tracecheck.Check(mem.Events())
+	for _, v := range rep.Violations {
+		errs = append(errs, fmt.Errorf("trace: %v", v))
+	}
 	if len(errs) == 0 {
 		fmt.Println("all properties held: Agreement, Uniqueness, Integrity, Total order, Causal cuts, Structure")
+		fmt.Printf("trace checkers passed over %d events\n", rep.Summary.Events)
 		return nil
 	}
 	for _, err := range errs {

@@ -1,0 +1,94 @@
+package core_test
+
+// This file lives in an external test package: internal/obs (which the
+// trace checkers build on) imports core, so the in-package tests cannot
+// reach it without a cycle.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tracecheck"
+	"repro/internal/vstest"
+)
+
+// TestTracecheckMultiPartitionMerge runs a full three-way partition and
+// merge under an obs tracer and asserts the offline trace checkers
+// (view-synchrony agreement, e-change total order, structure survival,
+// mode legality, flush discipline) find nothing to complain about in a
+// real execution.
+func TestTracecheckMultiPartitionMerge(t *testing.T) {
+	net := vstest.NewNet(t, 713)
+	mem := obs.NewMemorySink()
+	coll := obs.NewCollector(nil, obs.NewTracer(0, mem))
+
+	opts := vstest.FastOptions()
+	opts.Observer = coll
+
+	const n = 6
+	procs := net.StartN(n, opts)
+	vstest.WaitConverged(t, procs, 15*time.Second)
+
+	if err := procs[0].Multicast([]byte("before the storm")); err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+
+	net.Fabric.SetPartitions(
+		[]string{"a", "b"}, []string{"c", "d"}, []string{"e", "f"})
+	for i := 0; i < n; i += 2 {
+		vstest.WaitConverged(t, procs[i:i+2], 15*time.Second)
+	}
+	// Traffic inside a minority partition still has to satisfy the
+	// per-view agreement property.
+	if err := procs[2].Multicast([]byte("partitioned")); err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+
+	net.Fabric.Heal()
+	vstest.WaitConverged(t, procs, 30*time.Second)
+
+	// Fuse the merged structure back into one subview so the checkers
+	// see e-changes on top of the view changes.
+	driver := procs[0]
+	lastReq := time.Time{}
+	vstest.Eventually(t, 15*time.Second, "structure merged", func() bool {
+		v := driver.CurrentView()
+		if v.Structure.NumSVSets() == 1 && v.Structure.NumSubviews() == 1 {
+			return true
+		}
+		if time.Since(lastReq) > 200*time.Millisecond {
+			lastReq = time.Now()
+			if sss := v.Structure.SVSets(); len(sss) >= 2 {
+				_ = driver.SVSetMerge(sss...)
+			} else if svs := v.Structure.Subviews(); len(svs) >= 2 {
+				_ = driver.SubviewMerge(svs...)
+			}
+		}
+		return false
+	})
+
+	if err := procs[0].Multicast([]byte("after the merge")); err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	for _, p := range procs {
+		p.Leave()
+	}
+	for _, p := range procs {
+		<-p.Done()
+	}
+
+	rep := tracecheck.Check(mem.Events())
+	if len(mem.Events()) == 0 {
+		t.Fatal("tracer captured no events")
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("trace violation: %v", v)
+		}
+	}
+	if rep.Summary.Views < 3 {
+		t.Fatalf("expected at least 3 view installs across partition+merge, got %d", rep.Summary.Views)
+	}
+}

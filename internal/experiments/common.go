@@ -48,6 +48,17 @@ func FastTiming() Timing {
 	}
 }
 
+// MarkRun records a run boundary in the observer's trace when the
+// observer carries one (obs.Collector does). Experiments call it each
+// time they build a fresh environment: process and view identifiers
+// restart there, and trace analysis (internal/tracecheck) must not
+// correlate events across the boundary.
+func (t Timing) MarkRun(label string) {
+	if m, ok := t.Observer.(interface{ MarkRun(label string) }); ok {
+		m.MarkRun(label)
+	}
+}
+
 // Options materializes the profile as the core options every harness
 // boots processes with (views logged, observer attached).
 func (t Timing) Options(group string, enriched bool) core.Options {

@@ -33,6 +33,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 	row := E1Row{M: m}
 
 	storm := func(singleJoin bool) (int, time.Duration, error) {
+		timing.MarkRun(fmt.Sprintf("e1 join-storm m=%d single-join=%v", m, singleJoin))
 		e := newEnv(seed)
 		defer e.close()
 		opts := timing.Options("e1", true)
@@ -83,6 +84,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 	// Partition-merge scenario (partitionable model): form 2m members,
 	// split them into two halves, let both sides stabilize, heal, and
 	// count the views one member installs from the heal to convergence.
+	timing.MarkRun(fmt.Sprintf("e1 partition-merge m=%d", m))
 	e := newEnv(seed + 1)
 	defer e.close()
 	opts := timing.Options("e1m", true)

@@ -31,11 +31,37 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/modes"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/sstate"
 	"repro/internal/stable"
 	"repro/internal/transfer"
 )
+
+// Metric names the host registers (ROADMAP: metrics over the
+// group-object layer). Classification counters are the prefix plus the
+// sstate.Kind label ("gobject.classifications.Transfer").
+const (
+	// MetricSnapAnnounces counts snapshot announcements multicast by
+	// this host (one per view change plus one per completed pull).
+	MetricSnapAnnounces = "gobject.snap_announces"
+	// MetricSnapMerges counts peer snapshots folded into local state.
+	MetricSnapMerges = "gobject.snap_merges"
+	// MetricPulls counts completed bulk state transfers.
+	MetricPulls = "gobject.pulls"
+	// MetricPullDuration is the request-to-done latency of bulk pulls,
+	// in seconds.
+	MetricPullDuration = "gobject.pull_duration_s"
+	// MetricReconciles counts successful Reconcile transitions.
+	MetricReconciles = "gobject.reconciles"
+	// MetricClassifyPrefix prefixes per-kind shared-state
+	// classification counters.
+	MetricClassifyPrefix = "gobject.classifications."
+)
+
+// pullDurationBuckets spans sub-millisecond simulated pulls up to
+// multi-second bulk transfers; override per registry with SetBuckets.
+var pullDurationBuckets = obs.LogLinearBuckets(0.0001, 10, 3)
 
 // Errors returned by the Host API.
 var (
@@ -84,9 +110,17 @@ type Config struct {
 	// (obs.Collector.OnModeStep fits). Called on the host's event
 	// goroutine; keep it fast.
 	ModeObserver func(self ids.PID, st modes.Step, dwell time.Duration)
+	// Metrics is the registry the host's counters and histograms are
+	// registered in. Nil gets a private per-host registry, which keeps
+	// Stats a per-host reading; passing one shared registry aggregates
+	// the gobject.* metrics group-wide (and Stats then reports group
+	// totals at every member).
+	Metrics *obs.Registry
 }
 
-// Stats counts host activity.
+// Stats counts host activity. It is a point-in-time view over the
+// host's obs metrics (see the Metric constants), kept for harnesses
+// that want plain numbers without a registry snapshot.
 type Stats struct {
 	Classifications map[sstate.Kind]int
 	Pulls           int
@@ -108,8 +142,19 @@ type Host struct {
 	snaps    map[ids.PID][]byte
 	closed   bool
 
-	statsMu sync.Mutex
-	stats   Stats
+	// Metric handles (lock-free); classCounters is the lazily built
+	// per-classification-kind cache, guarded by statsMu along with the
+	// open pull's start time.
+	reg           *obs.Registry
+	snapAnnounces *obs.Counter
+	snapMerges    *obs.Counter
+	pulls         *obs.Counter
+	reconciles    *obs.Counter
+	pullDuration  *obs.Histogram
+
+	statsMu       sync.Mutex
+	classCounters map[sstate.Kind]*obs.Counter
+	pullStart     time.Time
 
 	done chan struct{}
 }
@@ -156,14 +201,24 @@ func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts cor
 	if err != nil {
 		return nil, fmt.Errorf("gobject: %w", err)
 	}
-	h := &Host{
-		p:     p,
-		obj:   obj,
-		cfg:   cfg,
-		snaps: make(map[ids.PID][]byte),
-		done:  make(chan struct{}),
+	mreg := cfg.Metrics
+	if mreg == nil {
+		mreg = obs.NewRegistry()
 	}
-	h.stats.Classifications = make(map[sstate.Kind]int)
+	h := &Host{
+		p:             p,
+		obj:           obj,
+		cfg:           cfg,
+		snaps:         make(map[ids.PID][]byte),
+		reg:           mreg,
+		snapAnnounces: mreg.Counter(MetricSnapAnnounces),
+		snapMerges:    mreg.Counter(MetricSnapMerges),
+		pulls:         mreg.Counter(MetricPulls),
+		reconciles:    mreg.Counter(MetricReconciles),
+		pullDuration:  mreg.Histogram(MetricPullDuration, pullDurationBuckets),
+		classCounters: make(map[sstate.Kind]*obs.Counter),
+		done:          make(chan struct{}),
+	}
 	h.tool = transfer.New(p, obj, cfg.Transfer)
 	go h.run()
 	return h, nil
@@ -182,15 +237,24 @@ func (h *Host) Mode() modes.Mode {
 	return h.machine.Mode()
 }
 
-// Stats returns a snapshot of the host counters.
+// Metrics returns the registry the host's gobject.* metrics live in
+// (the Config.Metrics registry, or the private one created for the
+// host).
+func (h *Host) Metrics() *obs.Registry { return h.reg }
+
+// Stats returns a snapshot of the host counters, read back from the
+// metrics registry.
 func (h *Host) Stats() Stats {
-	h.statsMu.Lock()
-	defer h.statsMu.Unlock()
-	out := h.stats
-	out.Classifications = make(map[sstate.Kind]int, len(h.stats.Classifications))
-	for k, v := range h.stats.Classifications {
-		out.Classifications[k] = v
+	out := Stats{
+		Pulls:      int(h.pulls.Value()),
+		Reconciles: int(h.reconciles.Value()),
 	}
+	h.statsMu.Lock()
+	out.Classifications = make(map[sstate.Kind]int, len(h.classCounters))
+	for k, c := range h.classCounters {
+		out.Classifications[k] = int(c.Value())
+	}
+	h.statsMu.Unlock()
 	return out
 }
 
@@ -291,13 +355,19 @@ func (h *Host) announce() {
 	h.mu.Lock()
 	h.snaps[h.p.PID()] = snap
 	h.mu.Unlock()
+	h.snapAnnounces.Inc()
 	_ = h.p.Multicast(encodeHostMsg(hostMsg{Type: "snap", From: h.p.PID(), Data: snap}))
 }
 
 func (h *Host) countClassification(k sstate.Kind) {
 	h.statsMu.Lock()
-	h.stats.Classifications[k]++
+	c, ok := h.classCounters[k]
+	if !ok {
+		c = h.reg.Counter(MetricClassifyPrefix + k.String())
+		h.classCounters[k] = c
+	}
 	h.statsMu.Unlock()
+	c.Inc()
 }
 
 // onEChange tracks structure changes for the settle round but does not
@@ -322,8 +392,12 @@ func (h *Host) onMsg(m core.MsgEvent) {
 				h.settling.pulling = false
 			}
 			h.mu.Unlock()
+			h.pulls.Inc()
 			h.statsMu.Lock()
-			h.stats.Pulls++
+			if !h.pullStart.IsZero() {
+				h.pullDuration.ObserveDuration(time.Since(h.pullStart))
+				h.pullStart = time.Time{}
+			}
 			h.statsMu.Unlock()
 			h.announce() // peers learn we caught up
 			h.advance()
@@ -355,6 +429,7 @@ func (h *Host) onMsg(m core.MsgEvent) {
 			}
 			h.mu.Unlock()
 			if inView {
+				h.snapMerges.Inc()
 				_ = h.obj.MergeSnapshot(msg.From, msg.Data)
 			}
 			h.advance()
@@ -444,12 +519,13 @@ func (h *Host) advance() {
 	h.mu.Unlock()
 
 	if reconciled {
-		h.statsMu.Lock()
-		h.stats.Reconciles++
-		h.statsMu.Unlock()
+		h.reconciles.Inc()
 	}
 	switch act {
 	case actPull:
+		h.statsMu.Lock()
+		h.pullStart = time.Now()
+		h.statsMu.Unlock()
 		_ = h.tool.Request(donor)
 	case actMergeSVSets:
 		_ = h.p.SVSetMerge(svsets...)

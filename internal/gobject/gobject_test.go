@@ -343,3 +343,63 @@ func TestModeObserver(t *testing.T) {
 		t.Fatalf("mode.dwell_s.S count = %d, want >= %d", dwellS.Count, n)
 	}
 }
+
+// TestHostMetrics: the host registers its activity counters in the
+// Config.Metrics registry (shared here, so values aggregate across the
+// cluster) and Stats reads back from the same counters.
+func TestHostMetrics(t *testing.T) {
+	net := vstest.NewNet(t, 605)
+	const n = 3
+	sites := make([]string, n)
+	for i := range sites {
+		sites[i] = vstest.SiteName(i)
+	}
+	rw := quorum.MajorityRW(quorum.Uniform(sites...))
+
+	reg := obs.NewRegistry()
+	cfg := gobject.Config{Enriched: true, Metrics: reg}
+	hosts := make([]*gobject.Host, 0, n)
+	objs := make([]*blobObject, 0, n)
+	for _, s := range sites {
+		obj := &blobObject{rw: rw}
+		h, err := gobject.Open(net.Fabric, net.Reg, s, vstest.FastOptions(), cfg, obj)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", s, err)
+		}
+		obj.self = h.Process().PID()
+		t.Cleanup(h.Close)
+		hosts = append(hosts, h)
+		objs = append(objs, obj)
+	}
+	for _, h := range hosts {
+		h := h
+		vstest.Eventually(t, 15*time.Second, "N-mode", func() bool {
+			return h.Mode() == modes.Normal
+		})
+	}
+	write(t, hosts[0], objs[0], 1, "metered", 5*time.Second)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[gobject.MetricSnapAnnounces]; got < n {
+		t.Fatalf("%s = %d, want >= %d", gobject.MetricSnapAnnounces, got, n)
+	}
+	// Each member merges the n-1 peers' announcements at formation.
+	if got := snap.Counters[gobject.MetricSnapMerges]; got < n*(n-1) {
+		t.Fatalf("%s = %d, want >= %d", gobject.MetricSnapMerges, got, n*(n-1))
+	}
+	if got := snap.Counters[gobject.MetricReconciles]; got < n {
+		t.Fatalf("%s = %d, want >= %d", gobject.MetricReconciles, got, n)
+	}
+	if got := snap.Counters[gobject.MetricClassifyPrefix+sstate.Creation.String()]; got == 0 {
+		t.Fatalf("no %s%s classifications recorded", gobject.MetricClassifyPrefix, sstate.Creation)
+	}
+	// Stats is a view over the same counters; with a shared registry it
+	// reports the group totals at every member.
+	st := hosts[0].Stats()
+	if uint64(st.Reconciles) != snap.Counters[gobject.MetricReconciles] {
+		t.Fatalf("Stats.Reconciles = %d, registry says %d", st.Reconciles, snap.Counters[gobject.MetricReconciles])
+	}
+	if hosts[0].Metrics() != reg {
+		t.Fatal("Metrics() does not return the shared registry")
+	}
+}

@@ -167,6 +167,15 @@ func (c *Collector) Registry() *Registry { return c.reg }
 // Tracer returns the tracer, or nil when tracing is off.
 func (c *Collector) Tracer() *Tracer { return c.tr }
 
+// MarkRun forwards a run-boundary marker to the tracer (a no-op when
+// tracing is off). Harnesses call it between independent simulations
+// sharing one collector; see Tracer.MarkRun.
+func (c *Collector) MarkRun(label string) {
+	if c.tr != nil {
+		c.tr.MarkRun(label)
+	}
+}
+
 func (c *Collector) emit(ev Event) {
 	if c.tr != nil {
 		c.tr.Append(ev)
@@ -227,7 +236,8 @@ func (c *Collector) OnView(self ids.PID, ev core.ViewEvent) {
 		p.changeStart = time.Time{}
 	}
 	c.mu.Unlock()
-	c.emit(Event{PID: self.String(), Type: EvInstall, View: ev.EView.ID.String(), N: ev.EView.Size()})
+	c.emit(Event{PID: self.String(), Type: EvInstall, View: ev.EView.ID.String(),
+		N: ev.EView.Size(), Round: ev.EView.ID.Epoch, Struct: StructureSummary(ev.EView.Structure)})
 }
 
 // OnEChange implements core.Observer: closes the e-change latency
@@ -241,8 +251,19 @@ func (c *Collector) OnEChange(self ids.PID, ev core.EChangeEvent) {
 		p.mergeStart = time.Time{}
 	}
 	c.mu.Unlock()
+	// Note carries the identifier the merge created — together with the
+	// Seq it lets the P6.1 checker compare the e-change *content*, not
+	// just its position, across processes.
+	note := ""
+	switch ev.Kind {
+	case core.EChangeSubviewMerge:
+		note = ev.NewSubview.String()
+	case core.EChangeSVSetMerge:
+		note = ev.NewSVSet.String()
+	}
 	c.emit(Event{PID: self.String(), Type: EvEChange, View: ev.EView.ID.String(),
-		Kind: ev.Kind.String(), N: int(ev.Seq)})
+		Kind: ev.Kind.String(), N: int(ev.Seq), Note: note,
+		Struct: StructureSummary(ev.EView.Structure)})
 }
 
 // ---- core.ExtendedObserver ----
@@ -287,14 +308,15 @@ func (c *Collector) OnPropose(self ids.PID, proposal ids.ViewID, members int, re
 		note = "retry"
 	}
 	c.markChange(self)
-	c.emit(Event{PID: self.String(), Type: EvPropose, View: proposal.String(), N: members, Note: note})
+	c.emit(Event{PID: self.String(), Type: EvPropose, View: proposal.String(),
+		N: members, Round: proposal.Epoch, Note: note})
 }
 
 // OnBlock implements core.ExtendedObserver.
 func (c *Collector) OnBlock(self ids.PID, proposal ids.ViewID) {
 	c.viewBlocks.Inc()
 	c.markChange(self)
-	c.emit(Event{PID: self.String(), Type: EvAck, View: proposal.String()})
+	c.emit(Event{PID: self.String(), Type: EvAck, View: proposal.String(), Round: proposal.Epoch})
 }
 
 // OnFlush implements core.ExtendedObserver.

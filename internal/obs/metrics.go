@@ -113,6 +113,32 @@ var (
 	}
 )
 
+// LogLinearBuckets returns histogram bucket bounds spaced evenly in log
+// space: perDecade bounds per factor of ten, from min up to the first
+// bound >= max (inclusive), so the range is always covered. Use it when
+// a simulation outgrows the compile-time defaults above instead of
+// recompiling the bounds:
+//
+//	reg.SetBuckets(obs.MetricViewChangeLatency, obs.LogLinearBuckets(0.001, 60, 4))
+//
+// min must be positive, max greater than min, perDecade at least 1;
+// LogLinearBuckets panics otherwise (the arguments are programmer
+// constants, not runtime data).
+func LogLinearBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade < 1 {
+		panic(fmt.Sprintf("obs: LogLinearBuckets(%v, %v, %d): need 0 < min < max and perDecade >= 1",
+			min, max, perDecade))
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for v := min; ; v *= ratio {
+		out = append(out, v)
+		if v >= max {
+			return out
+		}
+	}
+}
+
 // Registry is a named collection of metrics. Registration (the first
 // lookup of a name) takes a write lock; subsequent lookups take a read
 // lock, and all metric updates are lock-free on the returned handles —
@@ -122,15 +148,37 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// bucketOverride maps a histogram name to the bucket bounds to use
+	// instead of whatever the first Histogram call passes. See SetBuckets.
+	bucketOverride map[string][]float64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:       make(map[string]*Counter),
+		gauges:         make(map[string]*Gauge),
+		histograms:     make(map[string]*Histogram),
+		bucketOverride: make(map[string][]float64),
 	}
+}
+
+// SetBuckets overrides the bucket bounds the named histogram will be
+// created with, taking precedence over the bounds passed to Histogram.
+// It lets a harness retune instrumented code (the Collector registers
+// its histograms with the compile-time defaults) without recompiling:
+// call it before the histogram's first registration — typically right
+// after NewRegistry, before the registry is handed to NewCollector. A
+// call after the histogram exists is a no-op (the histogram's buckets
+// are immutable); overriding with nil removes the override.
+func (r *Registry) SetBuckets(name string, bounds []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bounds == nil {
+		delete(r.bucketOverride, name)
+		return
+	}
+	r.bucketOverride[name] = append([]float64(nil), bounds...)
 }
 
 // Counter returns the counter registered under name, creating it on
@@ -171,7 +219,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the histogram registered under name, creating it
 // with the given bucket bounds on first use. Later calls ignore bounds
-// (the first registration wins).
+// (the first registration wins), and a SetBuckets override for the name
+// takes precedence over bounds.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.RLock()
 	h, ok := r.histograms[name]
@@ -182,6 +231,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h, ok = r.histograms[name]; !ok {
+		if override, ok := r.bucketOverride[name]; ok {
+			bounds = override
+		}
 		h = newHistogram(bounds)
 		r.histograms[name] = h
 	}

@@ -173,3 +173,79 @@ func TestSnapshotJSON(t *testing.T) {
 		t.Fatal("TakenAt not stamped")
 	}
 }
+
+// TestLogLinearBuckets pins the shape of generated bounds: perDecade
+// bounds per factor of ten, first bound exactly min, last bound >= max.
+func TestLogLinearBuckets(t *testing.T) {
+	b := LogLinearBuckets(0.001, 1, 1)
+	// One bound per decade: 0.001, 0.01, 0.1, 1 (modulo float rounding).
+	if len(b) != 4 {
+		t.Fatalf("bounds = %v, want 4 entries", b)
+	}
+	if b[0] != 0.001 {
+		t.Fatalf("first bound = %v, want min exactly", b[0])
+	}
+	if b[len(b)-1] < 1 {
+		t.Fatalf("last bound = %v, must cover max", b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+		ratio := b[i] / b[i-1]
+		if math.Abs(ratio-10) > 1e-9 {
+			t.Fatalf("ratio b[%d]/b[%d] = %v, want 10", i, i-1, ratio)
+		}
+	}
+	// Finer spacing: 4 per decade over 3 decades -> 13 bounds.
+	b = LogLinearBuckets(0.001, 1, 4)
+	if len(b) != 13 {
+		t.Fatalf("4/decade over 3 decades: %d bounds (%v), want 13", len(b), b)
+	}
+	for _, bad := range []func(){
+		func() { LogLinearBuckets(0, 1, 1) },
+		func() { LogLinearBuckets(1, 1, 1) },
+		func() { LogLinearBuckets(0.1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid arguments did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestSetBuckets: an override installed before first registration wins
+// over the bounds passed to Histogram; after the histogram exists the
+// override is a no-op; nil removes a pending override.
+func TestSetBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.SetBuckets("lat", []float64{1, 10, 100})
+	h := r.Histogram("lat", []float64{0.001, 0.01})
+	if got := len(h.bounds); got != 3 || h.bounds[2] != 100 {
+		t.Fatalf("override ignored: bounds = %v", h.bounds)
+	}
+	// Mutating the caller's slice must not affect the stored override.
+	r2 := NewRegistry()
+	bs := []float64{1, 2}
+	r2.SetBuckets("lat", bs)
+	bs[0] = 999
+	if got := r2.Histogram("lat", nil).bounds[0]; got != 1 {
+		t.Fatalf("override aliases caller slice: bounds[0] = %v", got)
+	}
+	// Too late: histogram already exists.
+	r.SetBuckets("lat", []float64{7})
+	if got := r.Histogram("lat", nil); got != h || len(got.bounds) != 3 {
+		t.Fatalf("late SetBuckets changed an existing histogram: %v", got.bounds)
+	}
+	// nil removes a pending override.
+	r3 := NewRegistry()
+	r3.SetBuckets("lat", []float64{5})
+	r3.SetBuckets("lat", nil)
+	if got := r3.Histogram("lat", []float64{0.5}).bounds; len(got) != 1 || got[0] != 0.5 {
+		t.Fatalf("nil did not clear override: bounds = %v", got)
+	}
+}

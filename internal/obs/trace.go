@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/evs"
 )
 
 // EventType discriminates trace events.
@@ -32,6 +35,13 @@ const (
 	EvEChange EventType = "echange"
 	// EvMode: the Figure-1 mode machine took a transition.
 	EvMode EventType = "mode"
+	// EvRun: a run boundary. Harnesses that funnel several independent
+	// simulations through one tracer (vsbench running an experiment's
+	// sub-scenarios over fresh fabrics) append one of these between
+	// them; process and view identifiers restart across the boundary,
+	// so trace analysis must not correlate events across it. Emitted by
+	// Tracer.MarkRun, never by the Collector.
+	EvRun EventType = "run"
 )
 
 // Event is one structured trace event. Seq is a per-tracer monotonic
@@ -57,11 +67,54 @@ type Event struct {
 	// N is a type-dependent count (view size, recovered messages,
 	// e-change sequence number).
 	N int `json:"n,omitempty"`
+	// Round is the membership-round identifier — the epoch of the
+	// proposal the event belongs to — carried by propose, ack, and
+	// install events. Epochs strictly increase along a process history,
+	// so Round pairs each Ack with the Install that resolves it even
+	// when proposals overlap (the View string alone cannot order them
+	// numerically).
+	Round uint64 `json:"round,omitempty"`
+	// Struct is the canonical subview/sv-set grouping summary for
+	// install and echange events (see StructureSummary): sv-sets joined
+	// by "|", subviews within an sv-set by "+", members within a
+	// subview by ",", everything sorted. It carries the grouping only —
+	// exactly what P6.3 preserves — not the view-scoped identifiers.
+	Struct string `json:"struct,omitempty"`
 	// DurMS is a type-dependent duration in milliseconds (flush
 	// duration, mode dwell).
 	DurMS float64 `json:"dur_ms,omitempty"`
 	// Note carries anything else ("retry", "suspected", "N->S").
 	Note string `json:"note,omitempty"`
+}
+
+// StructureSummary renders the subview/sv-set grouping of an enriched
+// view structure canonically for Event.Struct: sv-sets joined by "|",
+// subviews within an sv-set joined by "+", member PIDs within a subview
+// joined by "," — all in sorted order, e.g. "a#1,b#1+c#1|d#1" for
+// {{a,b},{c}} in one sv-set and {{d}} in another. The encoding is
+// deliberately free of the view-scoped subview/sv-set identifiers:
+// P6.3 preserves the grouping across views, never the identifiers, and
+// the grouping is also what survives a seed change (trace diffing
+// compares Struct directly).
+func StructureSummary(s evs.Structure) string {
+	var b strings.Builder
+	for i, ss := range s.SVSets() {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, sv := range s.SVSetSubviews(ss) {
+			if j > 0 {
+				b.WriteByte('+')
+			}
+			for k, p := range s.SubviewMembers(sv).Sorted() {
+				if k > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(p.String())
+			}
+		}
+	}
+	return b.String()
 }
 
 // Sink receives every event appended to a Tracer, synchronously and in
@@ -117,6 +170,14 @@ func (t *Tracer) Append(ev Event) {
 		s.Emit(ev)
 	}
 	t.mu.Unlock()
+}
+
+// MarkRun appends an EvRun boundary marker with the given label. Call
+// it between independent simulations sharing this tracer so that trace
+// analysis (internal/tracecheck) treats the identifier spaces on either
+// side as unrelated.
+func (t *Tracer) MarkRun(label string) {
+	t.Append(Event{Type: EvRun, Note: label})
 }
 
 // Len returns the number of events currently held in the ring.
@@ -198,6 +259,12 @@ func (s *TextSink) Emit(ev Event) {
 	}
 	if ev.N != 0 {
 		line += fmt.Sprintf(" n=%d", ev.N)
+	}
+	if ev.Round != 0 {
+		line += fmt.Sprintf(" round=%d", ev.Round)
+	}
+	if ev.Struct != "" {
+		line += " struct=" + ev.Struct
 	}
 	if ev.DurMS != 0 {
 		line += fmt.Sprintf(" dur=%.3fms", ev.DurMS)

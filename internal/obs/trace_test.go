@@ -123,12 +123,13 @@ func TestJSONLGolden(t *testing.T) {
 		{At: at(0), PID: "a#1", Type: EvSend, Msg: "m1@a#1", View: "v1@a#1"},
 		{At: at(1), PID: "b#1", Type: EvDeliver, Msg: "m1@a#1", View: "v1@a#1"},
 		{At: at(5), PID: "a#1", Type: EvSuspect, Peer: "c#1", Note: "suspected"},
-		{At: at(7), PID: "a#1", Type: EvPropose, View: "v2@a#1", N: 2, Note: "retry"},
-		{At: at(8), PID: "b#1", Type: EvAck, View: "v2@a#1"},
+		{At: at(7), PID: "a#1", Type: EvPropose, View: "v2@a#1", N: 2, Round: 2, Note: "retry"},
+		{At: at(8), PID: "b#1", Type: EvAck, View: "v2@a#1", Round: 2},
 		{At: at(12), PID: "a#1", Type: EvFlush, View: "v1@a#1", N: 1, DurMS: 0.25},
-		{At: at(13), PID: "a#1", Type: EvInstall, View: "v2@a#1", N: 2},
-		{At: at(20), PID: "a#1", Type: EvEChange, View: "v2@a#1", Kind: "SubviewMerge", N: 1},
+		{At: at(13), PID: "a#1", Type: EvInstall, View: "v2@a#1", N: 2, Round: 2, Struct: "a#1|b#1"},
+		{At: at(20), PID: "a#1", Type: EvEChange, View: "v2@a#1", Kind: "SVSetMerge", N: 1, Note: "ss3/v2@a#1", Struct: "a#1+b#1"},
 		{At: at(25), PID: "a#1", Type: EvMode, Kind: "Reconcile", DurMS: 12.5, Note: "S->N"},
+		{At: at(30), Type: EvRun, Note: "second scenario"},
 	}
 	for _, ev := range events {
 		tr.Append(ev)

@@ -1,0 +1,100 @@
+package tracecheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Agreement checks view-synchrony agreement (P2.1) at trace level: any
+// two processes that install the same view from the same predecessor
+// must have delivered the same set of multicast messages in the
+// predecessor. Unicast deliveries are addressed traffic outside the
+// property; flush deliveries count — they happen before the install
+// fires, which is exactly what the flush protocol is for.
+type Agreement struct{}
+
+// Name implements Checker.
+func (Agreement) Name() string { return "agreement" }
+
+// viewEdge keys transitions by generation and (from, to) view pair.
+type viewEdge struct {
+	gen      int
+	from, to string
+}
+
+// transition is one process's passage between two consecutively
+// installed views with the messages it delivered in the first.
+type transition struct {
+	pid       string
+	seq       uint64 // trace seq of the install completing the transition
+	delivered map[string]struct{}
+}
+
+// Check implements Checker.
+func (Agreement) Check(tl *Timeline) []Violation {
+	byEdge := make(map[viewEdge][]transition)
+	var edges []viewEdge
+	for _, pid := range tl.pids() {
+		for _, seg := range tl.Procs[pid].Segments {
+			cur := ""
+			delivered := make(map[string]struct{})
+			for _, ev := range seg.Events {
+				switch ev.Type {
+				case obs.EvDeliver:
+					if ev.Kind == "unicast" {
+						continue
+					}
+					delivered[ev.Msg] = struct{}{}
+				case obs.EvInstall:
+					if cur != "" {
+						edge := viewEdge{seg.Gen, cur, ev.View}
+						if len(byEdge[edge]) == 0 {
+							edges = append(edges, edge)
+						}
+						byEdge[edge] = append(byEdge[edge], transition{pid, ev.Seq, delivered})
+					}
+					cur = ev.View
+					delivered = make(map[string]struct{})
+				}
+			}
+		}
+	}
+	var out []Violation
+	for _, edge := range edges {
+		trs := byEdge[edge]
+		ref := trs[0]
+		for _, tr := range trs[1:] {
+			if only := diffSets(ref.delivered, tr.delivered); len(only) > 0 {
+				out = append(out, Violation{
+					Checker: "agreement", PID: tr.pid, View: edge.from, Seq: tr.seq,
+					Msg: fmt.Sprintf("transition %s->%s: delivered %d msg(s), %s delivered %d; differing: %v",
+						edge.from, edge.to, len(tr.delivered), ref.pid, len(ref.delivered), only),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// diffSets returns up to three elements of the symmetric difference of
+// a and b (empty when the sets are equal), sorted.
+func diffSets(a, b map[string]struct{}) []string {
+	var only []string
+	for m := range a {
+		if _, ok := b[m]; !ok {
+			only = append(only, m)
+		}
+	}
+	for m := range b {
+		if _, ok := a[m]; !ok {
+			only = append(only, m)
+		}
+	}
+	sort.Strings(only)
+	if len(only) > 3 {
+		only = append(only[:3], "...")
+	}
+	return only
+}

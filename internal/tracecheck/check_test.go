@@ -1,0 +1,159 @@
+package tracecheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func load(t *testing.T, name string) []obs.Event {
+	t.Helper()
+	events, malformed, err := ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", name, err)
+	}
+	if malformed != 0 {
+		t.Fatalf("fixture %s has %d malformed lines", name, malformed)
+	}
+	return events
+}
+
+// TestCleanFixture: a well-behaved two-process trace passes every
+// checker and summarizes correctly.
+func TestCleanFixture(t *testing.T) {
+	rep := Check(load(t, "clean.jsonl"))
+	if !rep.OK() {
+		t.Fatalf("clean trace reported violations: %v", rep.Violations)
+	}
+	s := rep.Summary
+	if s.Procs != 2 || s.Views != 2 || s.Runs != 1 {
+		t.Fatalf("summary = %+v, want 2 procs, 2 views, 1 run", s)
+	}
+	if s.Counts[obs.EvInstall] != 4 || s.Counts[obs.EvMode] != 3 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+}
+
+// TestViolationFixtures: each hand-built fixture trips exactly the
+// checker it was built to trip.
+func TestViolationFixtures(t *testing.T) {
+	cases := []struct {
+		fixture string
+		checker string
+		substr  string
+	}{
+		{"agreement_violation.jsonl", "agreement", "delivered"},
+		{"echange_violation.jsonl", "echange", "contiguous"},
+		{"structure_violation.jsonl", "structure", "split"},
+		{"mode_violation.jsonl", "mode", "Figure-1"},
+		{"flush_violation.jsonl", "flush", "blocked"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.checker, func(t *testing.T) {
+			rep := Check(load(t, tc.fixture))
+			if rep.OK() {
+				t.Fatalf("fixture %s reported no violations", tc.fixture)
+			}
+			matched := false
+			for _, v := range rep.Violations {
+				if v.Checker != tc.checker {
+					t.Fatalf("fixture %s tripped foreign checker: %v", tc.fixture, v)
+				}
+				if strings.Contains(v.Msg, tc.substr) {
+					matched = true
+				}
+			}
+			if !matched {
+				t.Fatalf("no violation mentions %q: %v", tc.substr, rep.Violations)
+			}
+		})
+	}
+}
+
+// installs returns a minimal install event.
+func install(pid, view string, round uint64, strc string) obs.Event {
+	return obs.Event{PID: pid, Type: obs.EvInstall, View: view, Round: round, Struct: strc}
+}
+
+// TestRunBoundaryIsolation: the same PID and view strings on both
+// sides of an EvRun marker belong to unrelated simulations; events
+// must not be correlated across the boundary even when doing so would
+// flag a violation.
+func TestRunBoundaryIsolation(t *testing.T) {
+	events := []obs.Event{
+		install("a#1", "v1@a#1", 1, "a#1,b#1"),
+		install("b#1", "v1@a#1", 1, "a#1,b#1"),
+		{PID: "a#1", Type: obs.EvDeliver, Msg: "m1@a#1", View: "v1@a#1"},
+		{PID: "b#1", Type: obs.EvDeliver, Msg: "m1@a#1", View: "v1@a#1"},
+		install("a#1", "v2@a#1", 2, "a#1,b#1"),
+		install("b#1", "v2@a#1", 2, "a#1,b#1"),
+		{Type: obs.EvRun, Note: "second scenario"},
+		// Same identifiers, different structure and no deliveries: only
+		// legal because it is a fresh run.
+		install("a#1", "v1@a#1", 1, "a#1|b#1"),
+		install("b#1", "v1@a#1", 1, "a#1|b#1"),
+		install("a#1", "v2@a#1", 2, "a#1|b#1"),
+		install("b#1", "v2@a#1", 2, "a#1|b#1"),
+	}
+	rep := Check(events)
+	if !rep.OK() {
+		t.Fatalf("run boundary not respected: %v", rep.Violations)
+	}
+	if rep.Summary.Runs != 2 || rep.Summary.Views != 4 {
+		t.Fatalf("summary = %+v, want 2 runs and 4 views", rep.Summary)
+	}
+}
+
+// TestRoundRegressionSplitsSegments: concatenated runs without an
+// EvRun marker are caught by the round-regression backstop — a
+// process's proposal epochs never decrease within one run.
+func TestRoundRegressionSplitsSegments(t *testing.T) {
+	events := []obs.Event{
+		install("a#1", "v1@a#1", 1, "a#1,b#1"),
+		install("a#1", "v5@a#1", 5, "a#1,b#1"),
+		// Round drops from 5 back to 2: a new run reusing the PID. The
+		// structure changes across the seam, which would be a survival
+		// violation if the two histories were one.
+		install("a#1", "v2@a#1", 2, "a#1|b#1"),
+		install("a#1", "v6@a#1", 6, "a#1|b#1"),
+	}
+	rep := Check(events)
+	if !rep.OK() {
+		t.Fatalf("round regression not treated as a run seam: %v", rep.Violations)
+	}
+	if segs := len(Build(events).Procs["a#1"].Segments); segs != 2 {
+		t.Fatalf("segments = %d, want 2", segs)
+	}
+}
+
+// TestStaleInstallRound: an install resolving an older round than the
+// last acked proposal is flagged.
+func TestStaleInstallRound(t *testing.T) {
+	events := []obs.Event{
+		{PID: "a#1", Type: obs.EvAck, View: "v3@a#1", Round: 3},
+		{PID: "a#1", Type: obs.EvAck, View: "v4@a#1", Round: 4},
+		install("a#1", "v3@a#1", 3, ""),
+	}
+	rep := Check(events)
+	if rep.OK() {
+		t.Fatal("stale-round install not flagged")
+	}
+	v := rep.Violations[0]
+	if v.Checker != "flush" || !strings.Contains(v.Msg, "stale") {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+// TestSummaryWrite smoke-tests the human rendering.
+func TestSummaryWrite(t *testing.T) {
+	rep := Check(load(t, "clean.jsonl"))
+	var sb strings.Builder
+	rep.Summary.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"2 process(es)", "2 view install(s)", "install=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary %q missing %q", out, want)
+		}
+	}
+}

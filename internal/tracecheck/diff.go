@@ -1,0 +1,173 @@
+package tracecheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Divergence is the first point where two traces of the same scenario
+// stop matching, located per process: the index into that process's
+// normalized event stream and a rendering of both sides ("<end of
+// trace>" when one side ran out, "<absent>" when the process never
+// appears).
+type Divergence struct {
+	PID   string
+	Index int
+	// A and B render the differing events; AView and BView are the raw
+	// view identifiers at the divergence in each trace (empty when the
+	// event carries no view).
+	A, B         string
+	AView, BView string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("first divergence at %s event %d:\n  a: %s\n  b: %s", d.PID, d.Index, d.A, d.B)
+}
+
+// Diff aligns two traces by view lineage and event type and returns
+// the earliest divergence, or nil when the traces are equivalent.
+//
+// Raw traces of the same scenario under different seeds never match
+// byte-for-byte: timestamps, proposal epochs, and coordinator
+// identities all depend on the schedule. Diff therefore compares a
+// normalized stream per process — event type, the per-process ordinal
+// of the view involved (its position in that process's view lineage,
+// not its schedule-dependent identifier), and the schedule-independent
+// payload fields (message id, peer, kind, count, note, structure).
+// The earliest divergence across processes (smallest per-process
+// index, ties broken by PID) is returned.
+func Diff(a, b []obs.Event) *Divergence {
+	na, nb := normalize(a), normalize(b)
+	pids := make(map[string]struct{}, len(na))
+	for pid := range na {
+		pids[pid] = struct{}{}
+	}
+	for pid := range nb {
+		pids[pid] = struct{}{}
+	}
+	sorted := make([]string, 0, len(pids))
+	for pid := range pids {
+		sorted = append(sorted, pid)
+	}
+	sort.Strings(sorted)
+
+	var best *Divergence
+	for _, pid := range sorted {
+		d := divergePID(pid, na[pid], nb[pid])
+		if d != nil && (best == nil || d.Index < best.Index) {
+			best = d
+		}
+	}
+	return best
+}
+
+// normEv is one event reduced to its schedule-independent identity.
+type normEv struct {
+	gen     int
+	typ     obs.EventType
+	viewOrd int // 1-based ordinal in the process's view lineage; 0 = none
+	msg     string
+	peer    string
+	kind    string
+	n       int
+	note    string
+	strc    string
+	rawView string
+}
+
+func (e normEv) key() string {
+	return fmt.Sprintf("%d/%s/V%d/%s/%s/%s/%d/%s/%s",
+		e.gen, e.typ, e.viewOrd, e.msg, e.peer, e.kind, e.n, e.note, e.strc)
+}
+
+func (e normEv) String() string {
+	s := string(e.typ)
+	if e.gen > 0 {
+		s = fmt.Sprintf("run%d %s", e.gen, s)
+	}
+	if e.viewOrd > 0 {
+		s += fmt.Sprintf(" view=V%d(%s)", e.viewOrd, e.rawView)
+	}
+	if e.msg != "" {
+		s += " msg=" + e.msg
+	}
+	if e.peer != "" {
+		s += " peer=" + e.peer
+	}
+	if e.kind != "" {
+		s += " kind=" + e.kind
+	}
+	if e.n != 0 {
+		s += fmt.Sprintf(" n=%d", e.n)
+	}
+	if e.strc != "" {
+		s += " struct=" + e.strc
+	}
+	if e.note != "" {
+		s += " " + e.note
+	}
+	return s
+}
+
+// normalize reduces a trace to per-process normalized streams. View
+// ordinals are assigned per process in order of first appearance
+// within a generation, so two runs of the same scenario line up even
+// though epochs and coordinators differ.
+func normalize(events []obs.Event) map[string][]normEv {
+	out := make(map[string][]normEv)
+	ord := make(map[string]map[genView]int)
+	tl := Build(events)
+	for pid, proc := range tl.Procs {
+		for _, seg := range proc.Segments {
+			for _, ev := range seg.Events {
+				ne := normEv{
+					gen: seg.Gen, typ: ev.Type,
+					msg: ev.Msg, peer: ev.Peer, kind: ev.Kind,
+					n: ev.N, note: ev.Note, strc: ev.Struct, rawView: ev.View,
+				}
+				if ev.View != "" {
+					if ord[pid] == nil {
+						ord[pid] = make(map[genView]int)
+					}
+					gv := genView{seg.Gen, ev.View}
+					o, ok := ord[pid][gv]
+					if !ok {
+						o = len(ord[pid]) + 1
+						ord[pid][gv] = o
+					}
+					ne.viewOrd = o
+				}
+				out[pid] = append(out[pid], ne)
+			}
+		}
+	}
+	return out
+}
+
+// divergePID finds the first mismatch between one process's streams.
+func divergePID(pid string, a, b []normEv) *Divergence {
+	for i := 0; i < len(a) || i < len(b); i++ {
+		switch {
+		case i >= len(a):
+			return &Divergence{PID: pid, Index: i, A: endOf(a), B: b[i].String(), BView: b[i].rawView}
+		case i >= len(b):
+			return &Divergence{PID: pid, Index: i, A: a[i].String(), B: endOf(b), AView: a[i].rawView}
+		case a[i].key() != b[i].key():
+			return &Divergence{PID: pid, Index: i,
+				A: a[i].String(), B: b[i].String(),
+				AView: a[i].rawView, BView: b[i].rawView}
+		}
+	}
+	return nil
+}
+
+// endOf labels a stream that ran out: a process absent from one trace
+// entirely, or present with fewer events.
+func endOf(stream []normEv) string {
+	if len(stream) == 0 {
+		return "<absent>"
+	}
+	return "<end of trace>"
+}

@@ -1,0 +1,90 @@
+package tracecheck
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDiffEqualTraces: a trace diffed against itself is equivalent.
+func TestDiffEqualTraces(t *testing.T) {
+	events := load(t, "clean.jsonl")
+	if d := Diff(events, events); d != nil {
+		t.Fatalf("self-diff diverged: %v", d)
+	}
+}
+
+// TestDiffSeesThroughSeedNoise: the same scenario under two seeds has
+// different epochs and coordinators but identical normalized streams —
+// no divergence.
+func TestDiffSeesThroughSeedNoise(t *testing.T) {
+	mkRun := func(e1, e2 uint64, coord string) []obs.Event {
+		v1 := viewStr(e1, coord)
+		v2 := viewStr(e2, coord)
+		return []obs.Event{
+			{PID: "a#1", Type: obs.EvInstall, View: v1, N: 2, Round: e1, Struct: "a#1,b#1"},
+			{PID: "b#1", Type: obs.EvInstall, View: v1, N: 2, Round: e1, Struct: "a#1,b#1"},
+			{PID: "a#1", Type: obs.EvSend, Msg: "m1@a#1", View: v1},
+			{PID: "a#1", Type: obs.EvDeliver, Msg: "m1@a#1", View: v1},
+			{PID: "b#1", Type: obs.EvDeliver, Msg: "m1@a#1", View: v1},
+			{PID: "a#1", Type: obs.EvInstall, View: v2, N: 2, Round: e2, Struct: "a#1,b#1"},
+			{PID: "b#1", Type: obs.EvInstall, View: v2, N: 2, Round: e2, Struct: "a#1,b#1"},
+		}
+	}
+	a := mkRun(2, 5, "a#1")
+	b := mkRun(3, 9, "b#1") // different epochs, different coordinator
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("seed noise reported as divergence: %v", d)
+	}
+}
+
+// TestDiffFindsFirstDivergence: traces that really differ report the
+// earliest per-process mismatch with both renderings.
+func TestDiffFindsFirstDivergence(t *testing.T) {
+	base := func() []obs.Event {
+		return []obs.Event{
+			{PID: "a#1", Type: obs.EvInstall, View: "v1@a#1", N: 2, Round: 1},
+			{PID: "b#1", Type: obs.EvInstall, View: "v1@a#1", N: 2, Round: 1},
+			{PID: "a#1", Type: obs.EvSend, Msg: "m1@a#1", View: "v1@a#1"},
+			{PID: "b#1", Type: obs.EvDeliver, Msg: "m1@a#1", View: "v1@a#1"},
+		}
+	}
+	a, b := base(), base()
+	// In trace b, process b#1 delivers a different message.
+	b[3].Msg = "m2@a#1"
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("no divergence found")
+	}
+	if d.PID != "b#1" || d.Index != 1 {
+		t.Fatalf("divergence at %s event %d, want b#1 event 1: %v", d.PID, d.Index, d)
+	}
+	if !strings.Contains(d.A, "m1@a#1") || !strings.Contains(d.B, "m2@a#1") {
+		t.Fatalf("renderings don't show the differing messages: %v", d)
+	}
+	if d.AView != "v1@a#1" || d.BView != "v1@a#1" {
+		t.Fatalf("views = %q / %q", d.AView, d.BView)
+	}
+}
+
+// TestDiffMissingProcess: a process absent from one trace is an
+// immediate divergence.
+func TestDiffMissingProcess(t *testing.T) {
+	a := []obs.Event{
+		{PID: "a#1", Type: obs.EvInstall, View: "v1@a#1", Round: 1},
+		{PID: "c#1", Type: obs.EvInstall, View: "v1@a#1", Round: 1},
+	}
+	b := []obs.Event{
+		{PID: "a#1", Type: obs.EvInstall, View: "v1@a#1", Round: 1},
+	}
+	d := Diff(a, b)
+	if d == nil || d.PID != "c#1" || d.Index != 0 || d.B != "<absent>" {
+		t.Fatalf("divergence = %v, want c#1 absent from b", d)
+	}
+}
+
+func viewStr(epoch uint64, coord string) string {
+	return "v" + strconv.FormatUint(epoch, 10) + "@" + coord
+}

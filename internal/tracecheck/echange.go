@@ -1,0 +1,85 @@
+package tracecheck
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// EChangeOrder checks P6.1: within one view, the e-view changes every
+// process applies form a prefix of a single totally ordered sequence.
+// Per process that means contiguous sequence numbers 1, 2, ... per
+// view; across processes the change at each position must have the
+// same kind, created identifier, and resulting structure.
+type EChangeOrder struct{}
+
+// Name implements Checker.
+func (EChangeOrder) Name() string { return "echange" }
+
+// echRec is one applied e-change as the trace witnesses it.
+type echRec struct {
+	pid  string
+	seq  uint64 // trace seq
+	n    int    // per-view e-change sequence number
+	kind string
+	note string // created subview/sv-set identifier
+	strc string // resulting structure summary
+}
+
+func (e echRec) content() string {
+	return fmt.Sprintf("%s %s -> %s", e.kind, e.note, e.strc)
+}
+
+// Check implements Checker.
+func (EChangeOrder) Check(tl *Timeline) []Violation {
+	perView := make(map[genView]map[string][]echRec)
+	var views []genView
+	var out []Violation
+	for _, pid := range tl.pids() {
+		for _, seg := range tl.Procs[pid].Segments {
+			for _, ev := range seg.Events {
+				if ev.Type != obs.EvEChange {
+					continue
+				}
+				gv := genView{seg.Gen, ev.View}
+				if perView[gv] == nil {
+					perView[gv] = make(map[string][]echRec)
+					views = append(views, gv)
+				}
+				seq := perView[gv][pid]
+				rec := echRec{pid: pid, seq: ev.Seq, n: ev.N, kind: ev.Kind, note: ev.Note, strc: ev.Struct}
+				if rec.n != len(seq)+1 {
+					out = append(out, Violation{
+						Checker: "echange", PID: pid, View: ev.View, Seq: ev.Seq,
+						Msg: fmt.Sprintf("e-change seq %d applied at position %d (must be contiguous from 1)",
+							rec.n, len(seq)+1),
+					})
+				}
+				perView[gv][pid] = append(seq, rec)
+			}
+		}
+	}
+	// Cross-process: every process's sequence is a prefix of the
+	// longest one, position by position.
+	for _, gv := range views {
+		byProc := perView[gv]
+		var longest []echRec
+		for _, pid := range tl.pids() {
+			if seq := byProc[pid]; len(seq) > len(longest) {
+				longest = seq
+			}
+		}
+		for _, pid := range tl.pids() {
+			for i, rec := range byProc[pid] {
+				if i < len(longest) && rec.content() != longest[i].content() {
+					out = append(out, Violation{
+						Checker: "echange", PID: pid, View: gv.view, Seq: rec.seq,
+						Msg: fmt.Sprintf("e-change %d diverges: %s applied %q, %s applied %q",
+							i+1, pid, rec.content(), longest[i].pid, longest[i].content()),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

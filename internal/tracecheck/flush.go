@@ -1,0 +1,60 @@
+package tracecheck
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// FlushDiscipline checks the flush protocol's blocking rule: after a
+// process acks a proposal (EvAck) it is blocked and must not multicast
+// until it installs the resulting view — application sends in between
+// must queue. An EvSend between a process's EvAck and its next
+// EvInstall is therefore a violation. The Round field pairs acks with
+// installs under overlapping proposals: a re-proposal may re-ack with
+// a higher round while still blocked, but an install for a round below
+// the last acked one would resolve a proposal the process has already
+// abandoned.
+type FlushDiscipline struct{}
+
+// Name implements Checker.
+func (FlushDiscipline) Name() string { return "flush" }
+
+// Check implements Checker.
+func (FlushDiscipline) Check(tl *Timeline) []Violation {
+	var out []Violation
+	for _, pid := range tl.pids() {
+		for _, seg := range tl.Procs[pid].Segments {
+			blocked := false
+			var ackRound uint64
+			for _, ev := range seg.Events {
+				switch ev.Type {
+				case obs.EvAck:
+					blocked = true
+					if ev.Round > ackRound {
+						ackRound = ev.Round
+					}
+				case obs.EvSend:
+					if blocked {
+						out = append(out, Violation{
+							Checker: "flush", PID: pid, Seq: ev.Seq,
+							Msg: fmt.Sprintf("sent %s while blocked for round %d (acked, not yet installed)",
+								ev.Msg, ackRound),
+						})
+					}
+				case obs.EvInstall:
+					if blocked && ev.Round != 0 && ackRound != 0 && ev.Round < ackRound {
+						out = append(out, Violation{
+							Checker: "flush", PID: pid, View: ev.View, Seq: ev.Seq,
+							Msg: fmt.Sprintf("installed round %d while blocked for round %d (stale proposal)",
+								ev.Round, ackRound),
+						})
+						continue // still blocked for the newer round
+					}
+					blocked, ackRound = false, 0
+				}
+			}
+		}
+	}
+	return out
+}

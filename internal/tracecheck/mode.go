@@ -1,0 +1,74 @@
+package tracecheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ModeMachine checks that every recorded mode step is one of Figure
+// 1's edges and that each process's steps chain (the mode a step
+// leaves is the mode the previous step entered):
+//
+//	N --Failure--> R        N --Reconfigure--> S
+//	R --Repair---> S        S --Reconfigure--> S
+//	S --Failure--> R        S --Reconcile----> N
+//
+// In particular N is reachable only through Reconcile — the
+// application, not the membership layer, decides when full service
+// resumes.
+type ModeMachine struct{}
+
+// Name implements Checker.
+func (ModeMachine) Name() string { return "mode" }
+
+// legalModeEdges is the Figure-1 edge set as "from-label-to".
+var legalModeEdges = map[string]bool{
+	"N-Failure-R":     true,
+	"N-Reconfigure-S": true,
+	"R-Repair-S":      true,
+	"S-Reconfigure-S": true,
+	"S-Failure-R":     true,
+	"S-Reconcile-N":   true,
+}
+
+// Check implements Checker.
+func (ModeMachine) Check(tl *Timeline) []Violation {
+	var out []Violation
+	for _, pid := range tl.pids() {
+		for _, seg := range tl.Procs[pid].Segments {
+			prevTo := ""
+			for _, ev := range seg.Events {
+				if ev.Type != obs.EvMode {
+					continue
+				}
+				from, to, ok := strings.Cut(ev.Note, "->")
+				if !ok {
+					out = append(out, Violation{
+						Checker: "mode", PID: pid, View: ev.View, Seq: ev.Seq,
+						Msg: fmt.Sprintf("mode step %q lacks a from->to note", ev.Note),
+					})
+					continue
+				}
+				if edge := from + "-" + ev.Kind + "-" + to; !legalModeEdges[edge] {
+					out = append(out, Violation{
+						Checker: "mode", PID: pid, View: ev.View, Seq: ev.Seq,
+						Msg: fmt.Sprintf("illegal mode transition %s --%s--> %s (not a Figure-1 edge)",
+							from, ev.Kind, to),
+					})
+				}
+				// Continuity from the second step on: the first step of a
+				// (possibly truncated) trace has no known prior mode.
+				if prevTo != "" && from != prevTo {
+					out = append(out, Violation{
+						Checker: "mode", PID: pid, View: ev.View, Seq: ev.Seq,
+						Msg: fmt.Sprintf("mode step leaves %s but the previous step entered %s", from, prevTo),
+					})
+				}
+				prevTo = to
+			}
+		}
+	}
+	return out
+}

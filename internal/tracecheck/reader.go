@@ -1,0 +1,59 @@
+package tracecheck
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// maxLineBytes bounds a single JSONL line. Trace events are a few
+// hundred bytes; a megabyte leaves room for pathological Struct
+// summaries without letting a corrupt file exhaust memory.
+const maxLineBytes = 1 << 20
+
+// Read parses a JSONL trace stream. Lines that fail to parse — a tail
+// truncated by a crashed writer, an interleaved log line, junk — are
+// skipped and counted in malformed rather than aborting the whole
+// read: a partial trace is still worth analyzing. The returned error
+// is reserved for I/O failures on r itself.
+func Read(r io.Reader) (events []obs.Event, malformed int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if json.Unmarshal(line, &ev) != nil || ev.Type == "" {
+			malformed++
+			continue
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			// An over-long line is data corruption, not an I/O failure;
+			// everything before it was parsed, count it and stop there.
+			return events, malformed + 1, nil
+		}
+		return events, malformed, fmt.Errorf("tracecheck: read trace: %w", err)
+	}
+	return events, malformed, nil
+}
+
+// ReadFile reads a JSONL trace file with Read's tolerance for
+// malformed and truncated lines.
+func ReadFile(path string) (events []obs.Event, malformed int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tracecheck: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,99 @@
+package tracecheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestReadRoundTrip: events written through a JSONL sink come back
+// field-for-field equal.
+func TestReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	tr := obs.NewTracer(16, sink)
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	want := []obs.Event{
+		{At: base, PID: "a#1", Type: obs.EvSend, Msg: "m1@a#1", View: "v1@a#1"},
+		{At: base.Add(time.Millisecond), PID: "b#1", Type: obs.EvDeliver, Msg: "m1@a#1", View: "v1@a#1", Kind: "flush"},
+		{At: base.Add(2 * time.Millisecond), PID: "a#1", Type: obs.EvPropose, View: "v2@a#1", N: 2, Round: 2, Note: "retry"},
+		{At: base.Add(3 * time.Millisecond), PID: "a#1", Type: obs.EvInstall, View: "v2@a#1", N: 2, Round: 2, Struct: "a#1,b#1"},
+		{At: base.Add(4 * time.Millisecond), PID: "a#1", Type: obs.EvFlush, View: "v1@a#1", DurMS: 0.25},
+		{At: base.Add(5 * time.Millisecond), Type: obs.EvRun, Note: "next"},
+	}
+	for _, ev := range want {
+		tr.Append(ev)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink: %v", err)
+	}
+
+	got, malformed, err := Read(&buf)
+	if err != nil || malformed != 0 {
+		t.Fatalf("Read: err=%v malformed=%d", err, malformed)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.Seq = uint64(i + 1) // assigned by the tracer
+		g := got[i]
+		if !g.At.Equal(w.At) {
+			t.Fatalf("event %d At = %v, want %v", i, g.At, w.At)
+		}
+		g.At, w.At = time.Time{}, time.Time{}
+		if g != w {
+			t.Fatalf("event %d round-trip mismatch:\ngot  %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+// TestReadMalformed: junk lines, JSON without an event type, and a
+// truncated tail are skipped and counted, not fatal.
+func TestReadMalformed(t *testing.T) {
+	events, malformed, err := ReadFile("testdata/malformed.jsonl")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("parsed %d events, want 2: %+v", len(events), events)
+	}
+	if malformed != 3 {
+		t.Fatalf("malformed = %d, want 3", malformed)
+	}
+	if events[0].Type != obs.EvInstall || events[1].Type != obs.EvSend {
+		t.Fatalf("wrong events survived: %+v", events)
+	}
+}
+
+// TestReadTruncatedTail: a writer killed mid-line loses only that line.
+func TestReadTruncatedTail(t *testing.T) {
+	full := `{"seq":1,"pid":"a#1","type":"install","view":"v1@a#1"}` + "\n" +
+		`{"seq":2,"pid":"a#1","type":"send","msg":"m1@a#1","view":"v1@a#1"}` + "\n"
+	cut := full + `{"seq":3,"pid":"a#1","type":"del`
+	events, malformed, err := Read(strings.NewReader(cut))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 2 || malformed != 1 {
+		t.Fatalf("events=%d malformed=%d, want 2 and 1", len(events), malformed)
+	}
+}
+
+// TestReadOverlongLine: a corrupt line longer than the scanner budget
+// ends the read gracefully instead of erroring out.
+func TestReadOverlongLine(t *testing.T) {
+	good := `{"seq":1,"pid":"a#1","type":"install","view":"v1@a#1"}` + "\n"
+	evil := good + strings.Repeat("x", maxLineBytes+1)
+	events, malformed, err := Read(strings.NewReader(evil))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 1 || malformed != 1 {
+		t.Fatalf("events=%d malformed=%d, want 1 and 1", len(events), malformed)
+	}
+}

@@ -1,0 +1,128 @@
+package tracecheck
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Timeline is a trace reorganized for checking: the raw event stream
+// plus per-process timelines, each split into segments inside which
+// process and view identifiers are coherent.
+//
+// Two mechanisms delimit segments. First, EvRun boundary markers
+// (Tracer.MarkRun): harnesses running several independent simulations
+// through one tracer restart the identifier spaces at each boundary,
+// so every event carries a generation — the count of markers before
+// it — and cross-process checks only ever correlate events of the
+// same generation. Second, as a backstop for traces concatenated
+// without markers, a process's timeline is split whenever its
+// membership round regresses below the round it last installed:
+// installed epochs strictly increase along any real process history,
+// so a Round lower than an already-installed one can only mean an
+// unrelated run reusing the same PID string. (Acked-but-uninstalled
+// rounds don't arm the backstop — an install may legally resolve a
+// round the process has since re-acked past, and flagging that is the
+// flush checker's job, not a seam.)
+type Timeline struct {
+	// Events is the analyzed stream in input order.
+	Events []obs.Event
+	// Runs is the number of generations (EvRun markers + 1).
+	Runs int
+	// Procs maps a PID string to its reconstructed timeline.
+	Procs map[string]*Proc
+}
+
+// Proc is one process's event history, in trace order, split into
+// identifier-coherent segments.
+type Proc struct {
+	PID      string
+	Segments []*Segment
+}
+
+// Segment is a maximal stretch of one process's history within a
+// single generation and with non-decreasing installed rounds.
+type Segment struct {
+	// Gen is the generation (run index) the segment belongs to.
+	Gen int
+	// Events are the process's events, in trace order.
+	Events []obs.Event
+
+	installRound uint64
+}
+
+// Build reconstructs a Timeline from a raw event stream. Events with
+// no PID (run markers, foreign junk) contribute to generations and the
+// summary but to no process timeline.
+func Build(events []obs.Event) *Timeline {
+	tl := &Timeline{Events: events, Runs: 1, Procs: make(map[string]*Proc)}
+	gen := 0
+	for _, ev := range events {
+		if ev.Type == obs.EvRun {
+			gen++
+			tl.Runs = gen + 1
+			continue
+		}
+		if ev.PID == "" {
+			continue
+		}
+		p, ok := tl.Procs[ev.PID]
+		if !ok {
+			p = &Proc{PID: ev.PID}
+			tl.Procs[ev.PID] = p
+		}
+		var seg *Segment
+		if n := len(p.Segments); n > 0 {
+			seg = p.Segments[n-1]
+		}
+		if seg == nil || seg.Gen != gen || (ev.Round > 0 && ev.Round < seg.installRound) {
+			seg = &Segment{Gen: gen}
+			p.Segments = append(p.Segments, seg)
+		}
+		if ev.Type == obs.EvInstall && ev.Round > seg.installRound {
+			seg.installRound = ev.Round
+		}
+		seg.Events = append(seg.Events, ev)
+	}
+	return tl
+}
+
+// pids returns the process ids in sorted order, for deterministic
+// iteration.
+func (tl *Timeline) pids() []string {
+	out := make([]string, 0, len(tl.Procs))
+	for pid := range tl.Procs {
+		out = append(out, pid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// genView keys cross-process state by (generation, view id): the same
+// view string in two generations is two unrelated views.
+type genView struct {
+	gen  int
+	view string
+}
+
+func (tl *Timeline) summary() Summary {
+	s := Summary{
+		Events: len(tl.Events),
+		Runs:   tl.Runs,
+		Procs:  len(tl.Procs),
+		Counts: make(map[obs.EventType]int),
+	}
+	views := make(map[genView]struct{})
+	gen := 0
+	for _, ev := range tl.Events {
+		s.Counts[ev.Type]++
+		switch ev.Type {
+		case obs.EvRun:
+			gen++
+		case obs.EvInstall:
+			views[genView{gen, ev.View}] = struct{}{}
+		}
+	}
+	s.Views = len(views)
+	return s
+}
