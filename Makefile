@@ -8,6 +8,7 @@ build:
 	$(GO) build ./...
 
 test: build
+	$(GO) vet ./...
 	$(GO) test ./...
 
 vet:
@@ -23,12 +24,15 @@ race:
 # the static-vs-adaptive failure-detector ablation in short mode (the
 # quick cell asserts nothing but must run to completion), plus a quick
 # E1 whose captured trace must pass every offline checker (vstrace
-# -analyze exits non-zero on any paper-invariant violation).
+# -analyze exits non-zero on any paper-invariant violation) and the
+# span profiler (vstrace -profile exits non-zero when any view-change
+# span never closed — a change the run left unresolved).
 check: build
 	$(GO) vet ./... && $(GO) test -race ./...
 	$(GO) run ./cmd/vsbench -exp e7 -quick
 	$(GO) run ./cmd/vsbench -exp e1 -quick -trace-out /tmp/vsbench-e1-check.jsonl
 	$(GO) run ./cmd/vstrace -analyze /tmp/vsbench-e1-check.jsonl
+	$(GO) run ./cmd/vstrace -profile /tmp/vsbench-e1-check.jsonl
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...

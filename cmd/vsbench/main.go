@@ -39,7 +39,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7")
+	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7|e8|e9")
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
@@ -80,9 +80,9 @@ func main() {
 	runners := map[string]func(experiments.Timing, int64, bool) error{
 		"f1": runF1, "f2": runF2, "f3": runF3,
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5, "e6": runE6,
-		"e7": runE7,
+		"e7": runE7, "e8": runE8, "e9": runE9,
 	}
-	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
 
 	which := strings.ToLower(*exp)
 	if which == "all" {
@@ -310,6 +310,48 @@ func runE7(timing experiments.Timing, seed int64, quick bool) error {
 	for _, jitter := range jitters {
 		for _, adaptive := range []bool{false, true} {
 			row, err := experiments.RunE7(jitter, window, adaptive, timing, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(row)
+		}
+	}
+	return nil
+}
+
+func runE8(timing experiments.Timing, seed int64, quick bool) error {
+	header("E8 — view-agreement latency under churn (span profile)",
+		"§4: each change costs a coordinator round with the group blocked between ack and install; overlapping changes force retries that stretch the agree phase")
+	gaps := []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, time.Second}
+	window := 3 * time.Second
+	if quick {
+		gaps = []time.Duration{200 * time.Millisecond}
+		window = 2 * time.Second
+	}
+	fmt.Println(experiments.E8Header)
+	for _, gap := range gaps {
+		row, err := experiments.RunE8(gap, window, timing, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runE9(timing experiments.Timing, seed int64, quick bool) error {
+	header("E9 — time in reduced mode under partition churn",
+		"Figure 1 / §3: a quorum object without its write quorum serves reads only (R-mode); residency there is the user-visible cost of partitions")
+	gaps := []time.Duration{50 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond}
+	window := 2 * time.Second
+	if quick {
+		gaps = []time.Duration{100 * time.Millisecond}
+		window = 1500 * time.Millisecond
+	}
+	fmt.Println(experiments.E9Header)
+	for _, gap := range gaps {
+		for _, enriched := range []bool{false, true} {
+			row, err := experiments.RunE9(gap, window, enriched, timing, seed)
 			if err != nil {
 				return err
 			}

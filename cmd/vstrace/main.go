@@ -12,6 +12,7 @@
 //	go run ./cmd/vstrace -seed 7         # a different schedule
 //	go run ./cmd/vstrace -trace-out trace.jsonl  # structured event stream
 //	go run ./cmd/vstrace -analyze trace.jsonl    # offline trace checking
+//	go run ./cmd/vstrace -profile trace.jsonl    # latency attribution
 //	go run ./cmd/vstrace -diff a.jsonl b.jsonl   # first divergence of two traces
 //
 // With -trace-out, every process is additionally instrumented with an
@@ -23,10 +24,15 @@
 // reconstructs per-process, per-view timelines, and runs the
 // internal/tracecheck invariant suite — agreement, e-change total
 // order, structure survival, mode legality, flush discipline —
-// exiting 1 if any checker finds a violation. -diff aligns two traces
-// of the same scenario (e.g. two seeds) by view lineage and event
-// type and reports the first divergence. Every live run also pipes
-// its own event stream through the same checkers in-process.
+// exiting 1 if any checker finds a violation. -profile reads a trace
+// back and attributes latency instead: the per-view phase breakdown
+// (detect / agree / flush / install), phase and delivery-latency
+// percentiles, and the critical-path member whose ack gated each
+// install (see internal/profile); it exits 1 if any view-change span
+// never closed. -diff aligns two traces of the same scenario (e.g.
+// two seeds) by view lineage and event type and reports the first
+// divergence. Every live run also pipes its own event stream through
+// the same checkers in-process and prints a one-line latency profile.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/simnet"
 	"repro/internal/stable"
 	"repro/internal/tracecheck"
@@ -56,11 +63,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "schedule seed")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace of protocol events to this file")
 	analyze := flag.String("analyze", "", "analyze a JSONL trace file instead of running a schedule; exit 1 on violation")
+	prof := flag.String("profile", "", "profile a JSONL trace file: per-view phase breakdown, phase/delivery percentiles, critical path; exit 1 on unclosed spans")
 	diff := flag.Bool("diff", false, "diff two JSONL trace files (two positional args); report the first divergence")
 	flag.Parse()
 	switch {
 	case *analyze != "":
 		if err := runAnalyze(*analyze); err != nil {
+			log.Fatalf("vstrace: %v", err)
+		}
+	case *prof != "":
+		if err := runProfile(*prof); err != nil {
 			log.Fatalf("vstrace: %v", err)
 		}
 	case *diff:
@@ -95,6 +107,22 @@ func runAnalyze(path string) error {
 		fmt.Fprintf(os.Stderr, "VIOLATION: %v\n", v)
 	}
 	return fmt.Errorf("%d trace violation(s)", len(rep.Violations))
+}
+
+// runProfile reads a trace file and prints its latency profile. An
+// unclosed span — a view change the trace never saw complete — is an
+// error (exit 1): either the trace was truncated mid-change or the run
+// ended with membership unresolved.
+func runProfile(path string) error {
+	rep, err := profile.FromFile(path)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if rep.Unclosed > 0 {
+		return fmt.Errorf("%d view-change span(s) never closed (truncated trace or unresolved change)", rep.Unclosed)
+	}
+	return nil
 }
 
 // runDiff aligns two traces by view lineage and event type and
@@ -291,6 +319,20 @@ func run(n, steps int, seed int64, traceOut string) error {
 	if len(errs) == 0 {
 		fmt.Println("all properties held: Agreement, Uniqueness, Integrity, Total order, Causal cuts, Structure")
 		fmt.Printf("trace checkers passed over %d events\n", rep.Summary.Events)
+		// One-line latency attribution; -profile on the written trace
+		// gives the full per-view breakdown.
+		prof := profile.FromEvents(mem.Events())
+		if c := prof.Phases.Total.Count; c > 0 {
+			fmt.Printf("latency: %d view-change spans, total p50/p95/max %v/%v/%v (p95 detect %v, agree %v, flush %v, install %v), %d unclosed\n",
+				c, prof.Phases.Total.P50.Round(100*time.Microsecond),
+				prof.Phases.Total.P95.Round(100*time.Microsecond),
+				prof.Phases.Total.Max.Round(100*time.Microsecond),
+				prof.Phases.Detect.P95.Round(100*time.Microsecond),
+				prof.Phases.Agree.P95.Round(100*time.Microsecond),
+				prof.Phases.Flush.P95.Round(100*time.Microsecond),
+				prof.Phases.Install.P95.Round(100*time.Microsecond),
+				prof.Unclosed)
+		}
 		return nil
 	}
 	for _, err := range errs {

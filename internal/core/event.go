@@ -209,8 +209,19 @@ type ExtendedObserver interface {
 	OnBlock(self ids.PID, proposal ids.ViewID)
 	// OnFlush fires after the flush phase of an install: recovered is
 	// the number of missed messages delivered from co-survivors, d the
-	// time spent delivering them. view is the predecessor view.
-	OnFlush(self ids.PID, view ids.ViewID, recovered int, d time.Duration)
+	// time spent delivering them. pred is the predecessor view being
+	// left, proposal the view about to be installed — carrying both lets
+	// a span profiler pin the flush to the membership round it completes
+	// even when proposals overlap.
+	OnFlush(self ids.PID, pred, proposal ids.ViewID, recovered int, d time.Duration)
+	// OnReproposal fires when self starts a proposal solely because a
+	// co-member advertises a different view id (install-propagation
+	// mismatch or an asymmetric partition), not because the composition
+	// changed: ours/theirs are the diverging view ids and peer the first
+	// diverging member observed. Every such round is churn that no
+	// failure-detector tuning can remove; the matching OnPropose fires
+	// immediately after.
+	OnReproposal(self, peer ids.PID, ours, theirs ids.ViewID)
 	// OnPacket fires for every protocol packet sent (sent=true) or
 	// received by this process, with the fabric kind label and nominal
 	// size in bytes.

@@ -483,6 +483,11 @@ func (m *machine) onTick(now time.Time) {
 	desired.Add(m.p.pid)
 
 	need := !desired.Equal(m.comp)
+	// divPeer/divView record a view-id divergence with an unchanged
+	// composition; a proposal launched for that reason alone is a
+	// re-proposal (reported via OnReproposal at launch below).
+	var divPeer ids.PID
+	var divView ids.ViewID
 	if !need {
 		// Same composition but a member advertises a different view: the
 		// histories diverged (it missed our install, or an asymmetric
@@ -494,6 +499,7 @@ func (m *machine) onTick(now time.Time) {
 		for q, v := range m.peerView {
 			if m.comp.Has(q) && alive.Has(q) && v != m.view.ID {
 				need = true
+				divPeer, divView = q, v
 				break
 			}
 		}
@@ -530,6 +536,9 @@ func (m *machine) onTick(now time.Time) {
 	}
 	if min, ok := desired.Min(); !ok || min != m.p.pid {
 		return // someone smaller is responsible for coordinating
+	}
+	if divPeer != (ids.PID{}) && m.p.tobs != nil {
+		m.p.tobs.OnReproposal(m.p.pid, divPeer, m.view.ID, divView)
 	}
 	m.startProposal(m.clampSingleJoin(desired), now, false)
 }
@@ -745,7 +754,7 @@ func (m *machine) onInstall(inst pktInstall) {
 		m.deliverCausal(d, true)
 	}
 	if m.p.tobs != nil {
-		m.p.tobs.OnFlush(m.p.pid, m.view.ID, len(missing), time.Since(flushStart))
+		m.p.tobs.OnFlush(m.p.pid, m.view.ID, inst.Proposal, len(missing), time.Since(flushStart))
 	}
 
 	newView := EView{

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/simnet"
 	"repro/internal/stable"
 )
@@ -37,6 +38,17 @@ type E7Row struct {
 	// Detect is how long the survivors took to install the 4-member view
 	// after the crash.
 	Detect time.Duration
+	// AgreeP50/AgreeP95 summarize the end-to-end view-agreement latency
+	// of every view change in the cell (member spans assembled from the
+	// cell's own trace — see internal/profile): false-suspicion churn
+	// does not just add view changes, it makes each one slower when
+	// concurrent suspicions force proposal retries.
+	AgreeP50, AgreeP95 time.Duration
+	// Reproposals counts membership rounds started only because a
+	// co-member advertised a different view id (install-propagation
+	// divergence) — the residual churn source no detector tuning
+	// removes, previously folded invisibly into ExtraViews.
+	Reproposals int
 }
 
 // RunE7 measures one (jitter, adaptive) cell: quiet window churn, then
@@ -50,10 +62,12 @@ func RunE7(jitter, window time.Duration, adaptive bool, timing Timing, seed int6
 	defer fabric.Close()
 	reg := stable.NewRegistry()
 
-	// Cell-local metrics so deltas are not polluted by other cells; the
-	// harness-wide observer (vsbench -metrics) still sees everything.
+	// Cell-local metrics and trace so deltas and spans are not polluted
+	// by other cells; the harness-wide observer (vsbench -metrics) still
+	// sees everything.
 	cell := obs.NewRegistry()
-	var observer core.Observer = obs.NewCollector(cell, nil)
+	cellTrace := obs.NewMemorySink()
+	var observer core.Observer = obs.NewCollector(cell, obs.NewTracer(0, cellTrace))
 	if timing.Observer != nil {
 		observer = obs.Tee(timing.Observer, observer)
 	}
@@ -95,6 +109,12 @@ func RunE7(jitter, window time.Duration, adaptive bool, timing Timing, seed int6
 	if h, ok := cell.Snapshot().Histograms[obs.MetricFDEffectiveTimeout]; ok && h.Count > 0 {
 		row.MeanTimeout = time.Duration(h.Sum / float64(h.Count) * float64(time.Second))
 	}
+	// Span-profile the cell's trace before the teardown Leaves add
+	// their own (uninteresting) view changes.
+	prof := profile.FromEvents(cellTrace.Events())
+	row.AgreeP50 = prof.Phases.Total.P50
+	row.AgreeP95 = prof.Phases.Total.P95
+	row.Reproposals = prof.Reproposals
 	for _, p := range procs[:n-1] {
 		p.Leave()
 	}
@@ -102,7 +122,7 @@ func RunE7(jitter, window time.Duration, adaptive bool, timing Timing, seed int6
 }
 
 // E7Header is the column header line for E7 tables.
-const E7Header = "jitter | detector | false susp | extra views | mean timeout | detect"
+const E7Header = "jitter | detector | false susp | extra views | mean timeout | detect | agree p50 | agree p95 | reprop"
 
 // String renders the row under E7Header.
 func (r E7Row) String() string {
@@ -110,7 +130,9 @@ func (r E7Row) String() string {
 	if r.Adaptive {
 		det = "adaptive"
 	}
-	return fmt.Sprintf("%6v | %8s | %10d | %11d | %12v | %6v",
+	return fmt.Sprintf("%6v | %8s | %10d | %11d | %12v | %6v | %9v | %9v | %6d",
 		r.Jitter, det, r.FalseSuspicions, r.ExtraViews,
-		r.MeanTimeout.Round(100*time.Microsecond), r.Detect.Round(time.Millisecond))
+		r.MeanTimeout.Round(100*time.Microsecond), r.Detect.Round(time.Millisecond),
+		r.AgreeP50.Round(100*time.Microsecond), r.AgreeP95.Round(100*time.Microsecond),
+		r.Reproposals)
 }

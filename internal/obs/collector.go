@@ -14,17 +14,24 @@ import (
 // "propose", "ack", "install", "echange", "mergereq", "other").
 const (
 	// Counters.
-	MetricViewInstalls    = "view.installs"
-	MetricViewProposals   = "view.proposals"
-	MetricViewRetries     = "view.proposal_retries"
-	MetricViewBlocks      = "view.blocks"
-	MetricSuspicions = "fd.suspicions"
+	MetricViewInstalls  = "view.installs"
+	MetricViewProposals = "view.proposals"
+	MetricViewRetries   = "view.proposal_retries"
+	MetricViewBlocks    = "view.blocks"
+	MetricSuspicions    = "fd.suspicions"
 	// MetricFalseSuspicions counts suspicions later revoked by a fresh
 	// liveness indication from the same incarnation — i.e. the peer was
 	// alive the whole time (a crashed site returns as a new PID, so its
 	// suspicion is never cleared). Forced suspicions that get cleared
 	// count too: they are false by construction.
 	MetricFalseSuspicions = "fd.false_suspicion_total"
+	// MetricReproposals counts membership rounds started solely because
+	// a co-member advertised a different view id with an unchanged
+	// composition (peerView divergence after install propagation or an
+	// asymmetric partition). These rounds are the churn the E7 10 ms
+	// anomaly exposed: no detector tuning removes them, so the span
+	// profiler attributes agreement latency to them separately.
+	MetricReproposals     = "core.reproposal_total"
 	MetricEChangeApplied  = "echange.applied"
 	MetricEChangeRequests = "echange.requests"
 	MetricFlushRecovered  = "flush.recovered_msgs"
@@ -78,6 +85,7 @@ type Collector struct {
 	viewBlocks     *Counter
 	suspicions     *Counter
 	falseSusp      *Counter
+	reproposals    *Counter
 	echApplied     *Counter
 	echRequests    *Counter
 	flushRecovered *Counter
@@ -139,6 +147,7 @@ func NewCollector(reg *Registry, tr *Tracer) *Collector {
 		viewBlocks:     reg.Counter(MetricViewBlocks),
 		suspicions:     reg.Counter(MetricSuspicions),
 		falseSusp:      reg.Counter(MetricFalseSuspicions),
+		reproposals:    reg.Counter(MetricReproposals),
 		echApplied:     reg.Counter(MetricEChangeApplied),
 		echRequests:    reg.Counter(MetricEChangeRequests),
 		flushRecovered: reg.Counter(MetricFlushRecovered),
@@ -319,12 +328,24 @@ func (c *Collector) OnBlock(self ids.PID, proposal ids.ViewID) {
 	c.emit(Event{PID: self.String(), Type: EvAck, View: proposal.String(), Round: proposal.Epoch})
 }
 
-// OnFlush implements core.ExtendedObserver.
-func (c *Collector) OnFlush(self ids.PID, view ids.ViewID, recovered int, d time.Duration) {
+// OnFlush implements core.ExtendedObserver. View is the predecessor
+// view being flushed; Round is the epoch of the proposal about to be
+// installed, pinning the flush to its membership round for the span
+// profiler even when proposals overlap.
+func (c *Collector) OnFlush(self ids.PID, pred, proposal ids.ViewID, recovered int, d time.Duration) {
 	c.flushDuration.ObserveDuration(d)
 	c.flushRecovered.Add(uint64(recovered))
-	c.emit(Event{PID: self.String(), Type: EvFlush, View: view.String(),
+	c.emit(Event{PID: self.String(), Type: EvFlush, View: pred.String(), Round: proposal.Epoch,
 		N: recovered, DurMS: float64(d) / float64(time.Millisecond)})
+}
+
+// OnReproposal implements core.ExtendedObserver: a membership round is
+// starting only to reunify diverged view ids (see MetricReproposals).
+func (c *Collector) OnReproposal(self, peer ids.PID, ours, theirs ids.ViewID) {
+	c.reproposals.Inc()
+	c.markChange(self)
+	c.emit(Event{PID: self.String(), Type: EvRepropose, Peer: peer.String(),
+		View: ours.String(), Note: theirs.String()})
 }
 
 // OnPacket implements core.ExtendedObserver. Not traced (one multicast
@@ -501,9 +522,15 @@ func (t *teeExt) OnBlock(self ids.PID, proposal ids.ViewID) {
 	}
 }
 
-func (t *teeExt) OnFlush(self ids.PID, view ids.ViewID, recovered int, d time.Duration) {
+func (t *teeExt) OnFlush(self ids.PID, pred, proposal ids.ViewID, recovered int, d time.Duration) {
 	for _, o := range t.ext {
-		o.OnFlush(self, view, recovered, d)
+		o.OnFlush(self, pred, proposal, recovered, d)
+	}
+}
+
+func (t *teeExt) OnReproposal(self, peer ids.PID, ours, theirs ids.ViewID) {
+	for _, o := range t.ext {
+		o.OnReproposal(self, peer, ours, theirs)
 	}
 }
 

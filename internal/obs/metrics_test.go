@@ -35,7 +35,7 @@ func TestHistogramBucketEdges(t *testing.T) {
 	}{
 		{0, 0},
 		{0.5, 0},
-		{1, 0},    // exactly on a bound -> that bucket
+		{1, 0}, // exactly on a bound -> that bucket
 		{1.0001, 1},
 		{2, 1},
 		{4.9, 2},

@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// This file assembles the flat trace stream into latency spans: the
+// per-process view-change span (first suspicion → install, split into
+// the detect / agree / flush / install phases of the membership
+// protocol) and send→deliver message-latency samples. The assembly is
+// purely event-driven — it works identically on a live stream (attach
+// the assembler as a tracer Sink) and on a JSONL trace read back from
+// disk (AssembleSpans) — and never correlates across EvRun boundaries:
+// identifiers restart there, so every span and sample carries the
+// generation it belongs to.
+//
+// internal/profile consumes the assembled SpanSet to compute phase
+// percentiles, per-kind delivery latencies, and the critical-path
+// member of each install.
+
+// ViewSpan is one process's passage through one view change: from the
+// moment the change became locally visible (a suspicion, a divergence
+// re-proposal, a proposal, or an ack — whichever came first since the
+// previous install) to the install that resolved it.
+//
+// The phase boundaries follow the membership protocol:
+//
+//	Detect  — first suspicion → first proposal/ack (failure detection
+//	          and the mismatch dwell; zero for join-driven changes that
+//	          start directly at a proposal or ack)
+//	Agree   — first proposal/ack → flush start (proposal rounds,
+//	          including retries and overlapping competing proposals,
+//	          until the winning install arrives)
+//	Flush   — delivering the messages co-survivors delivered (P2.1)
+//	Install — flush end → the install callback (view bookkeeping)
+type ViewSpan struct {
+	PID string
+	// Gen is the run generation (count of EvRun markers before the
+	// span); spans never cross a generation boundary.
+	Gen int
+	// View and Round identify the installed view; empty/zero while the
+	// span is unclosed.
+	View  string
+	Round uint64
+	// Start anchors the span; End is the install time (zero when
+	// unclosed).
+	Start, End time.Time
+	// The phase durations. All zero for Bootstrap spans.
+	Detect, Agree, Flush, Install time.Duration
+	// Suspicions counts "suspected" transitions observed within the
+	// span; Proposals/Retries the membership rounds this process
+	// coordinated; Reproposals the peerView-divergence rounds among
+	// them (see EvRepropose); Recovered the messages the flush
+	// re-delivered.
+	Suspicions  int
+	Proposals   int
+	Retries     int
+	Reproposals int
+	Recovered   int
+	// Coordinator reports that this process proposed the round it
+	// installed.
+	Coordinator bool
+	// Bootstrap marks an install with no preceding protocol activity:
+	// the singleton view a process installs at Start (or the head of a
+	// truncated trace). Bootstrap spans carry no phases.
+	Bootstrap bool
+	// Closed is false for spans still open when their generation (or
+	// the stream) ended — a view change that never completed, either
+	// because the trace was truncated or because the run ended
+	// mid-change.
+	Closed bool
+}
+
+// Total returns the whole span duration (zero when unclosed).
+func (s ViewSpan) Total() time.Duration {
+	if !s.Closed {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// AckSample is one process's ack (block) for one membership round.
+// The profiler derives the critical-path member of each install from
+// these: the coordinator cannot install until the last ack arrives, so
+// the member with the latest ack gated the view.
+type AckSample struct {
+	PID   string
+	Gen   int
+	View  string
+	Round uint64
+	At    time.Time
+}
+
+// MsgLatency is one send→deliver pair: the delivery latency of one
+// message at one receiver, labeled with the delivery kind ("multicast",
+// "flush", "unicast"). Flush deliveries measure from the original send,
+// so they expose how long Agreement held a message back.
+type MsgLatency struct {
+	Kind    string
+	Gen     int
+	Msg     string
+	To      string
+	Latency time.Duration
+}
+
+// SpanSet is everything assembled from one trace.
+type SpanSet struct {
+	Spans     []ViewSpan
+	Acks      []AckSample
+	Latencies []MsgLatency
+}
+
+// Unclosed counts the spans that never saw their install.
+func (s SpanSet) Unclosed() int {
+	n := 0
+	for _, sp := range s.Spans {
+		if !sp.Closed {
+			n++
+		}
+	}
+	return n
+}
+
+// spanState is the per-process open-span accumulator.
+type spanState struct {
+	start      time.Time
+	firstAgree time.Time
+	// openSuspects is the net count of standing suspicions within the
+	// span; when it returns to zero before any agreement activity the
+	// span is discarded (all suspicions were revoked, no round started,
+	// no view change is coming).
+	openSuspects int
+	sawSuspect   bool
+	flushEnd     time.Time
+	flushDur     time.Duration
+	flushSeen    bool
+	recovered    int
+	suspicions   int
+	proposals    int
+	retries      int
+	reproposals  int
+	proposed     map[uint64]struct{}
+}
+
+// SpanAssembler incrementally folds trace events into a SpanSet. It
+// implements Sink, so it can watch a live tracer; Feed accepts replayed
+// events. Safe for concurrent use.
+type SpanAssembler struct {
+	mu    sync.Mutex
+	gen   int
+	procs map[string]*spanState
+	sends map[string]time.Time
+	set   SpanSet
+}
+
+// NewSpanAssembler returns an empty assembler.
+func NewSpanAssembler() *SpanAssembler {
+	return &SpanAssembler{
+		procs: make(map[string]*spanState),
+		sends: make(map[string]time.Time),
+	}
+}
+
+// AssembleSpans folds a complete event stream (a MemorySink's contents
+// or a trace file read back) into a SpanSet.
+func AssembleSpans(events []Event) SpanSet {
+	a := NewSpanAssembler()
+	for _, ev := range events {
+		a.Feed(ev)
+	}
+	return a.Finish()
+}
+
+// Emit implements Sink.
+func (a *SpanAssembler) Emit(ev Event) { a.Feed(ev) }
+
+// Feed folds one event into the assembly.
+func (a *SpanAssembler) Feed(ev Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ev.Type == EvRun {
+		// Identifier spaces restart: close out the generation. Open
+		// spans can never complete — record them as unclosed.
+		a.flushOpen()
+		a.gen++
+		return
+	}
+	if ev.PID == "" {
+		return
+	}
+	switch ev.Type {
+	case EvSend:
+		a.sends[ev.Msg] = ev.At
+	case EvDeliver:
+		if sentAt, ok := a.sends[ev.Msg]; ok {
+			kind := ev.Kind
+			if kind == "" {
+				kind = "multicast"
+			}
+			lat := ev.At.Sub(sentAt)
+			if lat < 0 {
+				lat = 0
+			}
+			a.set.Latencies = append(a.set.Latencies, MsgLatency{
+				Kind: kind, Gen: a.gen, Msg: ev.Msg, To: ev.PID, Latency: lat,
+			})
+		}
+	case EvSuspect:
+		switch ev.Note {
+		case "suspected":
+			st := a.open(ev.PID, ev.At)
+			st.sawSuspect = true
+			st.suspicions++
+			st.openSuspects++
+		case "cleared", "false-suspicion":
+			st, ok := a.procs[ev.PID]
+			if !ok {
+				return
+			}
+			if st.openSuspects > 0 {
+				st.openSuspects--
+			}
+			// Every suspicion revoked before any round started: the
+			// detector walked it back, no view change is coming.
+			if st.openSuspects == 0 && st.firstAgree.IsZero() && st.reproposals == 0 {
+				delete(a.procs, ev.PID)
+			}
+		}
+	case EvRepropose:
+		st := a.open(ev.PID, ev.At)
+		st.reproposals++
+	case EvPropose:
+		st := a.open(ev.PID, ev.At)
+		if st.firstAgree.IsZero() {
+			st.firstAgree = ev.At
+		}
+		st.proposals++
+		if ev.Note == "retry" {
+			st.retries++
+		}
+		if st.proposed == nil {
+			st.proposed = make(map[uint64]struct{})
+		}
+		st.proposed[ev.Round] = struct{}{}
+	case EvAck:
+		st := a.open(ev.PID, ev.At)
+		if st.firstAgree.IsZero() {
+			st.firstAgree = ev.At
+		}
+		a.set.Acks = append(a.set.Acks, AckSample{
+			PID: ev.PID, Gen: a.gen, View: ev.View, Round: ev.Round, At: ev.At,
+		})
+	case EvFlush:
+		st := a.open(ev.PID, ev.At)
+		st.flushSeen = true
+		st.flushEnd = ev.At
+		st.flushDur = time.Duration(ev.DurMS * float64(time.Millisecond))
+		st.recovered += ev.N
+	case EvInstall:
+		a.close(ev)
+	}
+}
+
+// Finish records every still-open span as unclosed and returns the
+// assembled set. The assembler remains usable (further events start
+// fresh spans in the same generation).
+func (a *SpanAssembler) Finish() SpanSet {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.flushOpen()
+	return a.set
+}
+
+// open returns the process's open span, anchoring a new one at t.
+func (a *SpanAssembler) open(pid string, t time.Time) *spanState {
+	st, ok := a.procs[pid]
+	if !ok {
+		st = &spanState{start: t}
+		a.procs[pid] = st
+	}
+	return st
+}
+
+// close resolves a process's open span with its install event.
+func (a *SpanAssembler) close(ev Event) {
+	sp := ViewSpan{
+		PID: ev.PID, Gen: a.gen, View: ev.View, Round: ev.Round,
+		End: ev.At, Closed: true,
+	}
+	st, ok := a.procs[ev.PID]
+	if !ok {
+		// No protocol activity preceded this install: the bootstrap
+		// singleton (or the head of a truncated trace).
+		sp.Start = ev.At
+		sp.Bootstrap = true
+		a.set.Spans = append(a.set.Spans, sp)
+		return
+	}
+	delete(a.procs, ev.PID)
+	sp.Start = st.start
+	sp.Suspicions = st.suspicions
+	sp.Proposals = st.proposals
+	sp.Retries = st.retries
+	sp.Reproposals = st.reproposals
+	sp.Recovered = st.recovered
+	if st.proposed != nil {
+		_, sp.Coordinator = st.proposed[ev.Round]
+	}
+
+	// Phase boundaries. The flush start is reconstructed from the flush
+	// event's own duration (the event is appended when the flush
+	// completes); each boundary is clamped so clock granularity can
+	// never produce a negative phase.
+	agreeAt := st.firstAgree
+	if agreeAt.IsZero() {
+		agreeAt = sp.Start
+	}
+	sp.Detect = clampDur(agreeAt.Sub(sp.Start))
+	if st.flushSeen {
+		flushStart := st.flushEnd.Add(-st.flushDur)
+		sp.Agree = clampDur(flushStart.Sub(agreeAt))
+		sp.Flush = clampDur(st.flushDur)
+		sp.Install = clampDur(ev.At.Sub(st.flushEnd))
+	} else {
+		sp.Agree = clampDur(ev.At.Sub(agreeAt))
+	}
+	a.set.Spans = append(a.set.Spans, sp)
+}
+
+// flushOpen converts every open span into an unclosed record. Called
+// at generation boundaries and at Finish, under the lock.
+func (a *SpanAssembler) flushOpen() {
+	for pid, st := range a.procs {
+		a.set.Spans = append(a.set.Spans, ViewSpan{
+			PID: pid, Gen: a.gen, Start: st.start,
+			Suspicions: st.suspicions, Proposals: st.proposals,
+			Retries: st.retries, Reproposals: st.reproposals,
+			Recovered: st.recovered,
+		})
+	}
+	a.procs = make(map[string]*spanState)
+	a.sends = make(map[string]time.Time)
+}
+
+func clampDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// tAt returns a deterministic timestamp ms milliseconds into a fixed
+// epoch, so phase math in tests is exact.
+func tAt(ms int) time.Time {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return base.Add(time.Duration(ms) * time.Millisecond)
+}
+
+func TestSpanPhases(t *testing.T) {
+	// One complete view change at one process: suspicion at 0ms, first
+	// proposal at 10ms, ack at 12ms, flush completing at 40ms having
+	// taken 5ms, install at 41ms.
+	events := []Event{
+		{Type: EvInstall, PID: "a#1", View: "a#1:1", Round: 1, At: tAt(0)}, // bootstrap
+		{Type: EvSuspect, PID: "a#1", Peer: "b#1", Note: "suspected", At: tAt(0)},
+		{Type: EvPropose, PID: "a#1", View: "a#1:2", Round: 2, N: 1, At: tAt(10)},
+		{Type: EvAck, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(12)},
+		{Type: EvFlush, PID: "a#1", View: "a#1:1", Round: 2, N: 3, DurMS: 5, At: tAt(40)},
+		{Type: EvInstall, PID: "a#1", View: "a#1:2", Round: 2, N: 1, At: tAt(41)},
+	}
+	set := AssembleSpans(events)
+	if got := len(set.Spans); got != 2 {
+		t.Fatalf("spans = %d, want 2 (bootstrap + change)", got)
+	}
+	boot, sp := set.Spans[0], set.Spans[1]
+	if !boot.Bootstrap || !boot.Closed {
+		t.Errorf("first span: Bootstrap=%v Closed=%v, want true/true", boot.Bootstrap, boot.Closed)
+	}
+	if sp.Bootstrap {
+		t.Errorf("second span marked bootstrap")
+	}
+	if !sp.Closed || sp.View != "a#1:2" || sp.Round != 2 {
+		t.Errorf("span = %+v, want closed view a#1:2 round 2", sp)
+	}
+	if sp.Detect != 10*time.Millisecond {
+		t.Errorf("Detect = %v, want 10ms", sp.Detect)
+	}
+	// Agree runs from the first proposal (10ms) to the flush start
+	// (40ms − 5ms = 35ms).
+	if sp.Agree != 25*time.Millisecond {
+		t.Errorf("Agree = %v, want 25ms", sp.Agree)
+	}
+	if sp.Flush != 5*time.Millisecond {
+		t.Errorf("Flush = %v, want 5ms", sp.Flush)
+	}
+	if sp.Install != 1*time.Millisecond {
+		t.Errorf("Install = %v, want 1ms", sp.Install)
+	}
+	if sp.Total() != 41*time.Millisecond {
+		t.Errorf("Total = %v, want 41ms", sp.Total())
+	}
+	if !sp.Coordinator {
+		t.Errorf("Coordinator = false, want true (we proposed round 2)")
+	}
+	if sp.Recovered != 3 || sp.Suspicions != 1 || sp.Proposals != 1 {
+		t.Errorf("counts = %+v, want recovered 3, suspicions 1, proposals 1", sp)
+	}
+	if len(set.Acks) != 1 || set.Acks[0].Round != 2 {
+		t.Errorf("acks = %+v, want one sample for round 2", set.Acks)
+	}
+	if set.Unclosed() != 0 {
+		t.Errorf("Unclosed = %d, want 0", set.Unclosed())
+	}
+}
+
+func TestSpanTruncatedTraceUnclosed(t *testing.T) {
+	// The trace ends mid-change: the span must be reported, unclosed.
+	events := []Event{
+		{Type: EvSuspect, PID: "a#1", Peer: "b#1", Note: "suspected", At: tAt(0)},
+		{Type: EvPropose, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(5)},
+		// no flush, no install — truncated here
+	}
+	set := AssembleSpans(events)
+	if len(set.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(set.Spans))
+	}
+	sp := set.Spans[0]
+	if sp.Closed {
+		t.Errorf("span closed, want unclosed")
+	}
+	if !sp.End.IsZero() {
+		t.Errorf("End = %v, want zero for unclosed span", sp.End)
+	}
+	if sp.Total() != 0 {
+		t.Errorf("Total = %v, want 0 for unclosed span", sp.Total())
+	}
+	if sp.Suspicions != 1 || sp.Proposals != 1 {
+		t.Errorf("counts = %+v, want partial activity preserved", sp)
+	}
+	if set.Unclosed() != 1 {
+		t.Errorf("Unclosed = %d, want 1", set.Unclosed())
+	}
+}
+
+func TestSpanOverlappingProposals(t *testing.T) {
+	// Two overlapping membership rounds inside one span: the first
+	// proposal's acks time out, a retry for a later round wins. The
+	// span must close once, at the winning install, with the retry
+	// counted and the coordinator flag keyed to the installed round.
+	events := []Event{
+		{Type: EvSuspect, PID: "a#1", Peer: "c#1", Note: "suspected", At: tAt(0)},
+		{Type: EvPropose, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(4)},
+		{Type: EvAck, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(5)},
+		{Type: EvSuspect, PID: "a#1", Peer: "d#1", Note: "suspected", At: tAt(20)},
+		{Type: EvPropose, PID: "a#1", View: "a#1:3", Round: 3, Note: "retry", At: tAt(34)},
+		{Type: EvAck, PID: "a#1", View: "a#1:3", Round: 3, At: tAt(35)},
+		{Type: EvFlush, PID: "a#1", View: "a#1:1", Round: 3, DurMS: 2, At: tAt(50)},
+		{Type: EvInstall, PID: "a#1", View: "a#1:3", Round: 3, At: tAt(51)},
+	}
+	set := AssembleSpans(events)
+	if len(set.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1 (overlapping rounds are one span)", len(set.Spans))
+	}
+	sp := set.Spans[0]
+	if !sp.Closed || sp.Round != 3 {
+		t.Errorf("span = %+v, want closed at round 3", sp)
+	}
+	if sp.Proposals != 2 || sp.Retries != 1 || sp.Suspicions != 2 {
+		t.Errorf("proposals=%d retries=%d suspicions=%d, want 2/1/2",
+			sp.Proposals, sp.Retries, sp.Suspicions)
+	}
+	if !sp.Coordinator {
+		t.Errorf("Coordinator = false, want true (we proposed the installed round 3)")
+	}
+	// Detect anchors at the FIRST suspicion and first agreement
+	// activity: 0ms → 4ms.
+	if sp.Detect != 4*time.Millisecond {
+		t.Errorf("Detect = %v, want 4ms", sp.Detect)
+	}
+	// Agree spans both rounds: 4ms → flush start 48ms.
+	if sp.Agree != 44*time.Millisecond {
+		t.Errorf("Agree = %v, want 44ms", sp.Agree)
+	}
+	if len(set.Acks) != 2 {
+		t.Errorf("acks = %d, want 2 (one per round)", len(set.Acks))
+	}
+}
+
+func TestSpanRunBoundaryNoCrossCorrelation(t *testing.T) {
+	// An EvRun boundary restarts the identifier space: the open span in
+	// generation 0 must be truncated (unclosed), the install re-using
+	// the same PID and round in generation 1 must NOT close it, and a
+	// send in generation 0 must not pair with a deliver of the same
+	// message id in generation 1.
+	events := []Event{
+		{Type: EvSend, PID: "a#1", Msg: "a#1:1|7", At: tAt(0)},
+		{Type: EvSuspect, PID: "a#1", Peer: "b#1", Note: "suspected", At: tAt(1)},
+		{Type: EvPropose, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(5)},
+		{Type: EvRun, Note: "next-scenario", At: tAt(10)},
+		{Type: EvDeliver, PID: "b#1", Msg: "a#1:1|7", At: tAt(11)},
+		{Type: EvInstall, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(12)},
+	}
+	set := AssembleSpans(events)
+	if len(set.Latencies) != 0 {
+		t.Errorf("latencies = %+v, want none (send and deliver in different generations)", set.Latencies)
+	}
+	if len(set.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (truncated gen-0 span + gen-1 bootstrap)", len(set.Spans))
+	}
+	var unclosed, boot *ViewSpan
+	for i := range set.Spans {
+		if set.Spans[i].Closed {
+			boot = &set.Spans[i]
+		} else {
+			unclosed = &set.Spans[i]
+		}
+	}
+	if unclosed == nil || boot == nil {
+		t.Fatalf("spans = %+v, want one unclosed and one closed", set.Spans)
+	}
+	if unclosed.Gen != 0 || unclosed.Proposals != 1 {
+		t.Errorf("unclosed span = %+v, want gen 0 with the pre-boundary proposal", unclosed)
+	}
+	if boot.Gen != 1 || !boot.Bootstrap {
+		t.Errorf("gen-1 install = %+v, want bootstrap in gen 1 (no correlation across EvRun)", boot)
+	}
+	if set.Unclosed() != 1 {
+		t.Errorf("Unclosed = %d, want 1", set.Unclosed())
+	}
+}
+
+func TestSpanFalseSuspicionDiscarded(t *testing.T) {
+	// A suspicion fully revoked before any round starts is not a view
+	// change: no span, and the next real change anchors at ITS first
+	// event, not at the stale suspicion.
+	events := []Event{
+		{Type: EvSuspect, PID: "a#1", Peer: "b#1", Note: "suspected", At: tAt(0)},
+		{Type: EvSuspect, PID: "a#1", Peer: "b#1", Note: "false-suspicion", At: tAt(3)},
+		{Type: EvSuspect, PID: "a#1", Peer: "c#1", Note: "suspected", At: tAt(100)},
+		{Type: EvPropose, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(110)},
+		{Type: EvFlush, PID: "a#1", View: "a#1:1", Round: 2, DurMS: 1, At: tAt(115)},
+		{Type: EvInstall, PID: "a#1", View: "a#1:2", Round: 2, At: tAt(116)},
+	}
+	set := AssembleSpans(events)
+	if len(set.Spans) != 1 {
+		t.Fatalf("spans = %+v, want 1 (revoked suspicion discarded)", set.Spans)
+	}
+	sp := set.Spans[0]
+	if !sp.Start.Equal(tAt(100)) {
+		t.Errorf("Start = %v, want anchored at the second suspicion (100ms)", sp.Start)
+	}
+	if sp.Detect != 10*time.Millisecond {
+		t.Errorf("Detect = %v, want 10ms", sp.Detect)
+	}
+}
+
+func TestSpanMessageLatencyKinds(t *testing.T) {
+	events := []Event{
+		{Type: EvSend, PID: "a#1", Msg: "a#1:1|1", At: tAt(0)},
+		{Type: EvDeliver, PID: "b#1", Msg: "a#1:1|1", At: tAt(2)},                 // normal multicast
+		{Type: EvDeliver, PID: "c#1", Msg: "a#1:1|1", Kind: "flush", At: tAt(30)}, // recovered in flush
+		{Type: EvDeliver, PID: "d#1", Msg: "x#1:9|9", At: tAt(5)},                 // never sent: ignored
+	}
+	set := AssembleSpans(events)
+	if len(set.Latencies) != 2 {
+		t.Fatalf("latencies = %+v, want 2", set.Latencies)
+	}
+	if set.Latencies[0].Kind != "multicast" || set.Latencies[0].Latency != 2*time.Millisecond {
+		t.Errorf("first sample = %+v, want multicast 2ms", set.Latencies[0])
+	}
+	if set.Latencies[1].Kind != "flush" || set.Latencies[1].Latency != 30*time.Millisecond {
+		t.Errorf("second sample = %+v, want flush 30ms (latency from the original send)", set.Latencies[1])
+	}
+}
+
+func TestSpanAssemblerLiveCollector(t *testing.T) {
+	// The assembler attached as a tracer sink sees the same stream the
+	// JSONL sink would; feed a realistic sequence through a Tracer to
+	// exercise the Sink path including repropose events.
+	asm := NewSpanAssembler()
+	tr := NewTracer(64, asm)
+	tr.Append(Event{Type: EvRepropose, PID: "a#1", Peer: "b#1", View: "a#1:2", Note: "b#1:3", At: tAt(0)})
+	tr.Append(Event{Type: EvPropose, PID: "a#1", View: "a#1:3", Round: 3, At: tAt(1)})
+	tr.Append(Event{Type: EvFlush, PID: "a#1", View: "a#1:2", Round: 3, DurMS: 1, At: tAt(8)})
+	tr.Append(Event{Type: EvInstall, PID: "a#1", View: "a#1:3", Round: 3, At: tAt(9)})
+	set := asm.Finish()
+	if len(set.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(set.Spans))
+	}
+	sp := set.Spans[0]
+	if sp.Reproposals != 1 {
+		t.Errorf("Reproposals = %d, want 1", sp.Reproposals)
+	}
+	if !sp.Closed || !sp.Coordinator {
+		t.Errorf("span = %+v, want closed coordinator span", sp)
+	}
+	// A divergence re-proposal has no suspicion: the whole pre-flush
+	// time is Detect(0) + Agree.
+	if sp.Detect != 1*time.Millisecond {
+		t.Errorf("Detect = %v, want 1ms (repropose → propose)", sp.Detect)
+	}
+}

@@ -25,6 +25,13 @@ const (
 	EvSuspect EventType = "suspect"
 	// EvPropose: the process started coordinating a membership round.
 	EvPropose EventType = "propose"
+	// EvRepropose: the process is about to start a membership round
+	// solely because a co-member advertises a different view id with an
+	// unchanged composition (install-propagation divergence) — churn
+	// that no failure-detector tuning removes. Peer is the diverging
+	// member, View our view, Note the peer's. The matching EvPropose
+	// follows immediately.
+	EvRepropose EventType = "repropose"
 	// EvAck: the process acked a proposal and blocked (flush discipline).
 	EvAck EventType = "ack"
 	// EvInstall: the process installed a view.

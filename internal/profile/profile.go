@@ -1,0 +1,289 @@
+// Package profile turns a trace stream into a latency profile of the
+// view-synchrony protocol: where the time of each view change went
+// (detect / agree / flush / install), how message delivery latency is
+// distributed per delivery kind, and which member's ack gated each
+// install (the critical path).
+//
+// It consumes the span assembly from internal/obs (obs.AssembleSpans /
+// obs.SpanAssembler) and works identically on live runs and on JSONL
+// trace files read back with internal/tracecheck's tolerant reader —
+// truncated traces profile fine, with the spans cut off by the
+// truncation reported as unclosed. Like tracecheck, it never
+// correlates across EvRun generation boundaries.
+package profile
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tracecheck"
+)
+
+// ViewRow aggregates the member spans of one installed view: one row
+// per (generation, view id). Phase durations are the worst member's —
+// the member that gated that phase — so a row reads as "what the
+// slowest process spent", matching how the install's end-to-end time
+// is felt by the group.
+type ViewRow struct {
+	Gen   int
+	View  string
+	Round uint64
+	// Members is the number of processes whose span closed at this
+	// view.
+	Members int
+	// Start is the earliest span anchor among members, End the latest
+	// install; Total = End − Start, the group-wide wall time of the
+	// change.
+	Start, End time.Time
+	Total      time.Duration
+	// Worst-member phase durations.
+	Detect, Agree, Flush, Install time.Duration
+	// Sums across members.
+	Recovered   int
+	Retries     int
+	Reproposals int
+	// Coordinator is the member whose proposal won the round ("" when
+	// no member span carries the flag — e.g. the coordinator's span was
+	// truncated away).
+	Coordinator string
+	// CritPID is the member whose ack for this view arrived last — the
+	// ack the coordinator waited for. CritSpread is how much later it
+	// was than the earliest ack (zero spread: everyone acked at once,
+	// no straggler). Empty/zero when the trace carries no acks for the
+	// round.
+	CritPID    string
+	CritSpread time.Duration
+	// Bootstrap marks a view whose members all installed it with no
+	// preceding protocol activity (process startup).
+	Bootstrap bool
+}
+
+// Dist is an empirical latency distribution summary.
+type Dist struct {
+	Count         int
+	P50, P95, Max time.Duration
+}
+
+// PhaseDist is the per-phase distribution over all closed,
+// non-bootstrap member spans (each member's passage through each view
+// change contributes one sample per phase).
+type PhaseDist struct {
+	Detect, Agree, Flush, Install, Total Dist
+}
+
+// KindDist is the delivery-latency distribution of one message kind.
+type KindDist struct {
+	Kind string
+	Dist
+}
+
+// Report is the assembled latency profile of one trace.
+type Report struct {
+	// Views has one row per installed view, in (generation, install
+	// time) order. Bootstrap views are included (flagged) but
+	// contribute nothing to Phases.
+	Views []ViewRow
+	// Phases aggregates phase durations across member spans.
+	Phases PhaseDist
+	// Latency is the per-kind delivery-latency distribution, sorted by
+	// kind name ("flush", "multicast", "unicast").
+	Latency []KindDist
+	// Spans is the total number of member spans; Bootstrap and
+	// Unclosed count the spans excluded from Phases (startup installs,
+	// and spans still open when their generation or the trace ended).
+	Spans     int
+	Bootstrap int
+	Unclosed  int
+	// Generations is the number of run generations in the trace (EvRun
+	// markers + 1).
+	Generations int
+	// Reproposals counts peerView-divergence membership rounds across
+	// the whole trace — churn attributable to install-propagation
+	// mismatch rather than failures or joins.
+	Reproposals int
+	// Malformed counts unparseable trace lines (FromFile only).
+	Malformed int
+}
+
+// FromFile profiles a JSONL trace file, tolerating malformed and
+// truncated lines the way tracecheck does.
+func FromFile(path string) (*Report, error) {
+	events, malformed, err := tracecheck.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := FromEvents(events)
+	r.Malformed = malformed
+	return r, nil
+}
+
+// FromEvents profiles a complete event stream.
+func FromEvents(events []obs.Event) *Report {
+	return FromSpanSet(obs.AssembleSpans(events))
+}
+
+// viewKey identifies one installed view within one generation.
+type viewKey struct {
+	gen  int
+	view string
+}
+
+// FromSpanSet aggregates an assembled span set into a Report.
+func FromSpanSet(set obs.SpanSet) *Report {
+	r := &Report{Spans: len(set.Spans)}
+
+	// Pass 1: acks per (gen, view) for the critical path.
+	type ackAgg struct {
+		first, last time.Time
+		lastPID     string
+	}
+	acks := make(map[viewKey]*ackAgg)
+	for _, a := range set.Acks {
+		k := viewKey{a.Gen, a.View}
+		g, ok := acks[k]
+		if !ok {
+			acks[k] = &ackAgg{first: a.At, last: a.At, lastPID: a.PID}
+			continue
+		}
+		if a.At.Before(g.first) {
+			g.first = a.At
+		}
+		if !a.At.Before(g.last) {
+			g.last = a.At
+			g.lastPID = a.PID
+		}
+	}
+
+	// Pass 2: fold member spans into view rows and phase samples.
+	rows := make(map[viewKey]*ViewRow)
+	var detect, agree, flush, install, total []time.Duration
+	maxGen := 0
+	for _, sp := range set.Spans {
+		if sp.Gen > maxGen {
+			maxGen = sp.Gen
+		}
+		r.Reproposals += sp.Reproposals
+		if !sp.Closed {
+			r.Unclosed++
+			continue
+		}
+		if sp.Bootstrap {
+			r.Bootstrap++
+		}
+		k := viewKey{sp.Gen, sp.View}
+		row, ok := rows[k]
+		if !ok {
+			row = &ViewRow{Gen: sp.Gen, View: sp.View, Round: sp.Round,
+				Start: sp.Start, End: sp.End, Bootstrap: true}
+			rows[k] = row
+		}
+		row.Members++
+		if sp.Start.Before(row.Start) {
+			row.Start = sp.Start
+		}
+		if sp.End.After(row.End) {
+			row.End = sp.End
+		}
+		row.Recovered += sp.Recovered
+		row.Retries += sp.Retries
+		row.Reproposals += sp.Reproposals
+		if sp.Coordinator {
+			row.Coordinator = sp.PID
+		}
+		// A view is a bootstrap view only if EVERY member span is.
+		if !sp.Bootstrap {
+			row.Bootstrap = false
+			row.Detect = maxDur(row.Detect, sp.Detect)
+			row.Agree = maxDur(row.Agree, sp.Agree)
+			row.Flush = maxDur(row.Flush, sp.Flush)
+			row.Install = maxDur(row.Install, sp.Install)
+			detect = append(detect, sp.Detect)
+			agree = append(agree, sp.Agree)
+			flush = append(flush, sp.Flush)
+			install = append(install, sp.Install)
+			total = append(total, sp.Total())
+		}
+	}
+	r.Generations = maxGen + 1
+
+	for k, row := range rows {
+		row.Total = row.End.Sub(row.Start)
+		if g, ok := acks[k]; ok {
+			row.CritPID = g.lastPID
+			row.CritSpread = g.last.Sub(g.first)
+		}
+		r.Views = append(r.Views, *row)
+	}
+	sort.Slice(r.Views, func(i, j int) bool {
+		a, b := r.Views[i], r.Views[j]
+		if a.Gen != b.Gen {
+			return a.Gen < b.Gen
+		}
+		if !a.End.Equal(b.End) {
+			return a.End.Before(b.End)
+		}
+		return a.View < b.View
+	})
+
+	r.Phases = PhaseDist{
+		Detect:  distOf(detect),
+		Agree:   distOf(agree),
+		Flush:   distOf(flush),
+		Install: distOf(install),
+		Total:   distOf(total),
+	}
+
+	// Pass 3: delivery latency per kind.
+	byKind := make(map[string][]time.Duration)
+	for _, l := range set.Latencies {
+		byKind[l.Kind] = append(byKind[l.Kind], l.Latency)
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		r.Latency = append(r.Latency, KindDist{Kind: k, Dist: distOf(byKind[k])})
+	}
+	return r
+}
+
+// distOf summarizes samples; the zero Dist for an empty slice.
+func distOf(samples []time.Duration) Dist {
+	if len(samples) == 0 {
+		return Dist{}
+	}
+	s := make([]time.Duration, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return Dist{
+		Count: len(s),
+		P50:   quantile(s, 0.50),
+		P95:   quantile(s, 0.95),
+		Max:   s[len(s)-1],
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of sorted samples.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package profile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func at(ms int) time.Time {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return base.Add(time.Duration(ms) * time.Millisecond)
+}
+
+// changeEvents is a three-member view change: a proposes view a#1:2 at
+// round 2 after suspecting d; b and c ack (c last), everyone flushes
+// and installs. Bootstrap installs precede it.
+func changeEvents() []obs.Event {
+	return []obs.Event{
+		{Type: obs.EvInstall, PID: "a#1", View: "a#1:1", Round: 1, At: at(0)},
+		{Type: obs.EvInstall, PID: "b#1", View: "b#1:1", Round: 1, At: at(0)},
+		{Type: obs.EvInstall, PID: "c#1", View: "c#1:1", Round: 1, At: at(0)},
+
+		{Type: obs.EvSend, PID: "a#1", Msg: "a#1:1|1", At: at(1)},
+		{Type: obs.EvDeliver, PID: "b#1", Msg: "a#1:1|1", At: at(3)},
+
+		{Type: obs.EvSuspect, PID: "a#1", Peer: "d#1", Note: "suspected", At: at(10)},
+		{Type: obs.EvSuspect, PID: "b#1", Peer: "d#1", Note: "suspected", At: at(12)},
+		{Type: obs.EvSuspect, PID: "c#1", Peer: "d#1", Note: "suspected", At: at(13)},
+		{Type: obs.EvPropose, PID: "a#1", View: "a#1:2", Round: 2, At: at(20)},
+		{Type: obs.EvAck, PID: "a#1", View: "a#1:2", Round: 2, At: at(21)},
+		{Type: obs.EvAck, PID: "b#1", View: "a#1:2", Round: 2, At: at(23)},
+		{Type: obs.EvAck, PID: "c#1", View: "a#1:2", Round: 2, At: at(29)},
+
+		{Type: obs.EvDeliver, PID: "c#1", Msg: "a#1:1|1", Kind: "flush", At: at(31)},
+		{Type: obs.EvFlush, PID: "a#1", View: "a#1:1", Round: 2, DurMS: 1, At: at(32)},
+		{Type: obs.EvFlush, PID: "b#1", View: "b#1:1", Round: 2, DurMS: 1, At: at(32)},
+		{Type: obs.EvFlush, PID: "c#1", View: "c#1:1", Round: 2, N: 1, DurMS: 2, At: at(33)},
+		{Type: obs.EvInstall, PID: "a#1", View: "a#1:2", Round: 2, At: at(33)},
+		{Type: obs.EvInstall, PID: "b#1", View: "a#1:2", Round: 2, At: at(33)},
+		{Type: obs.EvInstall, PID: "c#1", View: "a#1:2", Round: 2, At: at(34)},
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	r := FromEvents(changeEvents())
+	if r.Spans != 6 {
+		t.Fatalf("Spans = %d, want 6 (3 bootstrap + 3 members)", r.Spans)
+	}
+	if r.Bootstrap != 3 || r.Unclosed != 0 {
+		t.Errorf("Bootstrap=%d Unclosed=%d, want 3/0", r.Bootstrap, r.Unclosed)
+	}
+	// Three bootstrap views (distinct singleton view ids) + the change.
+	if len(r.Views) != 4 {
+		t.Fatalf("views = %d, want 4", len(r.Views))
+	}
+	var row *ViewRow
+	for i := range r.Views {
+		if r.Views[i].View == "a#1:2" {
+			row = &r.Views[i]
+		} else if !r.Views[i].Bootstrap {
+			t.Errorf("view %s not marked bootstrap", r.Views[i].View)
+		}
+	}
+	if row == nil {
+		t.Fatalf("no row for a#1:2 in %+v", r.Views)
+	}
+	if row.Members != 3 || row.Bootstrap {
+		t.Errorf("row = %+v, want 3 members, not bootstrap", row)
+	}
+	if row.Coordinator != "a#1" {
+		t.Errorf("Coordinator = %q, want a#1", row.Coordinator)
+	}
+	// c acked last, 8ms after a.
+	if row.CritPID != "c#1" || row.CritSpread != 8*time.Millisecond {
+		t.Errorf("crit = %s (+%v), want c#1 (+8ms)", row.CritPID, row.CritSpread)
+	}
+	// Group-wide total: earliest anchor (a suspects at 10ms) to latest
+	// install (c at 34ms).
+	if row.Total != 24*time.Millisecond {
+		t.Errorf("Total = %v, want 24ms", row.Total)
+	}
+	// Worst-member flush is c's 2ms.
+	if row.Flush != 2*time.Millisecond {
+		t.Errorf("Flush = %v, want 2ms", row.Flush)
+	}
+	if row.Recovered != 1 {
+		t.Errorf("Recovered = %d, want 1", row.Recovered)
+	}
+	// Phase samples: only the 3 non-bootstrap member spans.
+	if r.Phases.Total.Count != 3 {
+		t.Errorf("phase samples = %d, want 3", r.Phases.Total.Count)
+	}
+	// Latency kinds sorted: flush before multicast.
+	if len(r.Latency) != 2 || r.Latency[0].Kind != "flush" || r.Latency[1].Kind != "multicast" {
+		t.Fatalf("latency = %+v, want [flush multicast]", r.Latency)
+	}
+	if r.Latency[0].Max != 30*time.Millisecond {
+		t.Errorf("flush delivery max = %v, want 30ms (held back by the change)", r.Latency[0].Max)
+	}
+}
+
+func TestFromFileTolerant(t *testing.T) {
+	// A trace with a malformed line and a truncated tail (the install
+	// missing): profiling must succeed, counting both.
+	events := changeEvents()
+	events = events[:len(events)-3] // drop all three installs → 3 unclosed spans
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for i, ev := range events {
+		if i == 2 {
+			f.WriteString("{this is not json\n")
+		}
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	r, err := FromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Malformed != 1 {
+		t.Errorf("Malformed = %d, want 1", r.Malformed)
+	}
+	if r.Unclosed != 3 {
+		t.Errorf("Unclosed = %d, want 3", r.Unclosed)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(s, 0.50); q != 5 {
+		t.Errorf("p50 = %v, want 5", q)
+	}
+	if q := quantile(s, 0.95); q != 10 {
+		t.Errorf("p95 = %v, want 10", q)
+	}
+	if q := quantile(s[:1], 0.95); q != 1 {
+		t.Errorf("single-sample p95 = %v, want 1", q)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := FromEvents(changeEvents())
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"per-view phase breakdown",
+		"a#1:2",
+		"c#1 (+8.00)",
+		"phase percentiles over 3 member spans",
+		"delivery latency by kind",
+		"multicast",
+		"flush",
+		"bootstrap",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "UNCLOSED") {
+		t.Errorf("clean trace reported unclosed spans:\n%s", out)
+	}
+}

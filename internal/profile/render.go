@@ -1,0 +1,107 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// maxViewRows bounds the per-view table; long churn traces summarize
+// the overflow rather than scrolling for pages (the percentile summary
+// below the table always covers every span).
+const maxViewRows = 64
+
+// WriteText renders the profile as aligned text: a headline, the
+// per-view phase table, the phase percentile summary, and the per-kind
+// delivery-latency table.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "profile: %d spans across %d views, %d generation(s)",
+		r.Spans, len(r.Views), r.Generations)
+	sep := " ("
+	if r.Bootstrap > 0 {
+		fmt.Fprintf(w, "%s%d bootstrap", sep, r.Bootstrap)
+		sep = ", "
+	}
+	if r.Unclosed > 0 {
+		fmt.Fprintf(w, "%s%d UNCLOSED", sep, r.Unclosed)
+		sep = ", "
+	}
+	if r.Reproposals > 0 {
+		fmt.Fprintf(w, "%s%d reproposals", sep, r.Reproposals)
+		sep = ", "
+	}
+	if r.Malformed > 0 {
+		fmt.Fprintf(w, "%s%d malformed lines", sep, r.Malformed)
+		sep = ", "
+	}
+	if sep == ", " {
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+
+	if n := len(r.Views); n > 0 {
+		fmt.Fprintln(w, "\nper-view phase breakdown (worst member per phase, ms):")
+		fmt.Fprintf(w, "  %3s %-14s %5s %4s %8s %8s %8s %8s %8s  %s\n",
+			"gen", "view", "round", "mem", "detect", "agree", "flush", "install", "total", "critical-path")
+		shown := 0
+		for _, v := range r.Views {
+			if shown == maxViewRows {
+				fmt.Fprintf(w, "  ... %d more views\n", n-shown)
+				break
+			}
+			shown++
+			if v.Bootstrap {
+				fmt.Fprintf(w, "  %3d %-14s %5d %4d %8s %8s %8s %8s %8s  bootstrap\n",
+					v.Gen, v.View, v.Round, v.Members, "-", "-", "-", "-", "-")
+				continue
+			}
+			crit := "-"
+			if v.CritPID != "" {
+				crit = fmt.Sprintf("%s (+%s)", v.CritPID, msStr(v.CritSpread))
+			}
+			notes := ""
+			if v.Recovered > 0 {
+				notes += fmt.Sprintf(" recovered=%d", v.Recovered)
+			}
+			if v.Retries > 0 {
+				notes += fmt.Sprintf(" retries=%d", v.Retries)
+			}
+			if v.Reproposals > 0 {
+				notes += fmt.Sprintf(" reproposals=%d", v.Reproposals)
+			}
+			fmt.Fprintf(w, "  %3d %-14s %5d %4d %8s %8s %8s %8s %8s  %s%s\n",
+				v.Gen, v.View, v.Round, v.Members,
+				msStr(v.Detect), msStr(v.Agree), msStr(v.Flush), msStr(v.Install),
+				msStr(v.Total), crit, notes)
+		}
+	}
+
+	if r.Phases.Total.Count > 0 {
+		fmt.Fprintf(w, "\nphase percentiles over %d member spans (ms):\n", r.Phases.Total.Count)
+		fmt.Fprintf(w, "  %-8s %8s %8s %8s\n", "phase", "p50", "p95", "max")
+		writeDist(w, "detect", r.Phases.Detect)
+		writeDist(w, "agree", r.Phases.Agree)
+		writeDist(w, "flush", r.Phases.Flush)
+		writeDist(w, "install", r.Phases.Install)
+		writeDist(w, "total", r.Phases.Total)
+	}
+
+	if len(r.Latency) > 0 {
+		fmt.Fprintln(w, "\ndelivery latency by kind (ms):")
+		fmt.Fprintf(w, "  %-10s %8s %8s %8s %8s\n", "kind", "count", "p50", "p95", "max")
+		for _, k := range r.Latency {
+			fmt.Fprintf(w, "  %-10s %8d %8s %8s %8s\n",
+				k.Kind, k.Count, msStr(k.P50), msStr(k.P95), msStr(k.Max))
+		}
+	}
+}
+
+func writeDist(w io.Writer, name string, d Dist) {
+	fmt.Fprintf(w, "  %-8s %8s %8s %8s\n", name, msStr(d.P50), msStr(d.P95), msStr(d.Max))
+}
+
+// msStr renders a duration as milliseconds with enough precision for
+// sub-millisecond simnet latencies.
+func msStr(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
