@@ -39,14 +39,22 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7|e8|e9")
+	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10")
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace of protocol events to this file")
+	transportName := flag.String("transport", "sim", "network backend: sim (deterministic simulator) or udp (real loopback sockets); e3/e7 always use sim, e10 always compares both")
 	flag.Parse()
 
 	timing := experiments.FastTiming()
+	switch *transportName {
+	case "sim", "udp":
+		timing.Transport = *transportName
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want sim|udp)\n", *transportName)
+		os.Exit(2)
+	}
 	var reg *obs.Registry
 	var metricsFile *os.File
 	if *metrics != "" {
@@ -80,9 +88,9 @@ func main() {
 	runners := map[string]func(experiments.Timing, int64, bool) error{
 		"f1": runF1, "f2": runF2, "f3": runF3,
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5, "e6": runE6,
-		"e7": runE7, "e8": runE8, "e9": runE9,
+		"e7": runE7, "e8": runE8, "e9": runE9, "e10": runE10,
 	}
-	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
 
 	which := strings.ToLower(*exp)
 	if which == "all" {
@@ -331,6 +339,24 @@ func runE8(timing experiments.Timing, seed int64, quick bool) error {
 	fmt.Println(experiments.E8Header)
 	for _, gap := range gaps {
 		row, err := experiments.RunE8(gap, window, timing, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runE10(timing experiments.Timing, seed int64, quick bool) error {
+	header("E10 — simulated fabric vs real UDP loopback sockets",
+		"§2: the run-time assumes only an asynchronous partitionable network; the same protocol history should unfold over real sockets with only the latency constants shifting")
+	msgs := 200
+	if quick {
+		msgs = 50
+	}
+	fmt.Println(experiments.E10Header)
+	for _, backend := range []string{"sim", "udp"} {
+		row, err := experiments.RunE10(backend, msgs, timing, seed)
 		if err != nil {
 			return err
 		}

@@ -54,6 +54,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stable"
 	"repro/internal/tracecheck"
+	"repro/internal/transport/udp"
 )
 
 func main() {
@@ -62,6 +63,7 @@ func main() {
 	steps := flag.Int("steps", 30, "schedule length")
 	seed := flag.Int64("seed", 1, "schedule seed")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace of protocol events to this file")
+	transportName := flag.String("transport", "sim", "network backend for the live schedule: sim (deterministic simulator) or udp (real loopback sockets)")
 	analyze := flag.String("analyze", "", "analyze a JSONL trace file instead of running a schedule; exit 1 on violation")
 	prof := flag.String("profile", "", "profile a JSONL trace file: per-view phase breakdown, phase/delivery percentiles, critical path; exit 1 on unclosed spans")
 	diff := flag.Bool("diff", false, "diff two JSONL trace files (two positional args); report the first divergence")
@@ -83,7 +85,10 @@ func main() {
 			log.Fatalf("vstrace: %v", err)
 		}
 	default:
-		if err := run(*n, *steps, *seed, *traceOut); err != nil {
+		if *transportName != "sim" && *transportName != "udp" {
+			log.Fatalf("vstrace: unknown transport %q (want sim|udp)", *transportName)
+		}
+		if err := run(*n, *steps, *seed, *traceOut, *transportName); err != nil {
 			log.Fatalf("vstrace: %v", err)
 		}
 	}
@@ -148,7 +153,7 @@ func runDiff(pathA, pathB string) error {
 	return nil
 }
 
-func run(n, steps int, seed int64, traceOut string) error {
+func run(n, steps int, seed int64, traceOut, transportName string) error {
 	r := rand.New(rand.NewSource(seed))
 	rec := check.NewRecorder()
 
@@ -173,10 +178,15 @@ func run(n, steps int, seed int64, traceOut string) error {
 	}
 	coll := obs.NewCollector(nil, obs.NewTracer(0, sinks...))
 	observer := obs.Tee(rec, coll)
-	fabric := simnet.New(simnet.Config{
-		Delay: simnet.NewUniformDelay(50*time.Microsecond, 400*time.Microsecond, seed+1),
-		Seed:  seed,
-	})
+	var fabric experiments.NetFabric
+	if transportName == "udp" {
+		fabric = udp.New(udp.Config{})
+	} else {
+		fabric = simnet.New(simnet.Config{
+			Delay: simnet.NewUniformDelay(50*time.Microsecond, 400*time.Microsecond, seed+1),
+			Seed:  seed,
+		})
+	}
 	defer fabric.Close()
 	reg := stable.NewRegistry()
 	timing := experiments.FastTiming()

@@ -25,7 +25,7 @@ import (
 	"repro/internal/gobject"
 	"repro/internal/ids"
 	"repro/internal/modes"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/stable"
 )
 
@@ -51,7 +51,7 @@ type incMsg struct {
 }
 
 // Open starts a replica at the given site.
-func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, enriched bool) (*Counter, error) {
+func Open(fabric transport.Transport, reg *stable.Registry, site string, coreOpts core.Options, enriched bool) (*Counter, error) {
 	obj := &object{contrib: make(map[string]uint64)}
 	host, err := gobject.Open(fabric, reg, site, coreOpts, gobject.Config{Enriched: enriched}, obj)
 	if err != nil {

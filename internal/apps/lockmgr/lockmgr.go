@@ -31,7 +31,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/modes"
 	"repro/internal/quorum"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/sstate"
 	"repro/internal/stable"
 )
@@ -138,7 +138,7 @@ func decodeMsg(payload []byte) (lockMsg, bool) {
 }
 
 // Open starts a member.
-func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*Manager, error) {
+func Open(fabric transport.Transport, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*Manager, error) {
 	coreOpts.Enriched = cfg.Enriched
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 2 * time.Second

@@ -33,7 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/modes"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/sstate"
 	"repro/internal/stable"
 )
@@ -114,7 +114,7 @@ func decodeMsg(payload []byte) (dbMsg, bool) {
 }
 
 // Open starts a replica.
-func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*DB, error) {
+func Open(fabric transport.Transport, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*DB, error) {
 	coreOpts.Enriched = cfg.Enriched
 	p, err := core.Start(fabric, reg, site, coreOpts)
 	if err != nil {

@@ -35,7 +35,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/modes"
 	"repro/internal/quorum"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/sstate"
 	"repro/internal/stable"
 	"repro/internal/transfer"
@@ -156,7 +156,7 @@ const (
 
 // Open starts a replica at the given site. The core options' Enriched
 // flag is forced to match cfg.Enriched.
-func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*File, error) {
+func Open(fabric transport.Transport, reg *stable.Registry, site string, coreOpts core.Options, cfg Config) (*File, error) {
 	coreOpts.Enriched = cfg.Enriched
 	coreOpts.LogViews = true
 	if cfg.WriteTimeout <= 0 {

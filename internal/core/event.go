@@ -26,6 +26,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/evs"
 	"repro/internal/ids"
+	"repro/internal/transport/wire"
 )
 
 // EView is an enriched view as delivered to the application: the agreed
@@ -115,26 +116,16 @@ type ViewEvent struct {
 
 func (ViewEvent) isEvent() {}
 
-// EChangeKind says which merge operation caused an e-view change.
-type EChangeKind int
+// EChangeKind says which merge operation caused an e-view change. The
+// concrete type lives in internal/transport/wire (it appears in wire
+// packets); core re-exports it.
+type EChangeKind = wire.EChangeKind
 
 // E-view change kinds.
 const (
-	EChangeSubviewMerge EChangeKind = iota + 1
-	EChangeSVSetMerge
+	EChangeSubviewMerge = wire.EChangeSubviewMerge
+	EChangeSVSetMerge   = wire.EChangeSVSetMerge
 )
-
-// String renders the kind.
-func (k EChangeKind) String() string {
-	switch k {
-	case EChangeSubviewMerge:
-		return "SubviewMerge"
-	case EChangeSVSetMerge:
-		return "SVSetMerge"
-	default:
-		return "EChange(?)"
-	}
-}
 
 // EChangeEvent is an e-view change within the current view: the view
 // composition is unchanged but the subview / sv-set structure evolved by

@@ -8,7 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/evs"
 	"repro/internal/ids"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // send unicasts a protocol packet, reporting it to the extended observer
@@ -16,7 +16,7 @@ import (
 // per-kind packet accounting sees every packet.
 func (m *machine) send(to ids.PID, payload any) {
 	if m.p.tobs != nil {
-		kind, size := simnet.Describe(payload)
+		kind, size := transport.Describe(payload)
 		m.p.tobs.OnPacket(m.p.pid, kind, size, true)
 	}
 	m.p.ep.Send(to, payload)
@@ -25,7 +25,7 @@ func (m *machine) send(to ids.PID, payload any) {
 // bcast broadcasts a protocol packet; see send.
 func (m *machine) bcast(payload any) {
 	if m.p.tobs != nil {
-		kind, size := simnet.Describe(payload)
+		kind, size := transport.Describe(payload)
 		m.p.tobs.OnPacket(m.p.pid, kind, size, true)
 	}
 	m.p.ep.Broadcast(payload)
@@ -42,7 +42,7 @@ func (m *machine) sendHeartbeat() {
 	})
 }
 
-func (m *machine) onPacket(msg simnet.Message, now time.Time) {
+func (m *machine) onPacket(msg transport.Message, now time.Time) {
 	switch pkt := msg.Payload.(type) {
 	case pktHeartbeat:
 		if pkt.Group != m.p.opts.Group {
@@ -171,7 +171,7 @@ func (m *machine) pruneStable() {
 
 // onCausal routes a causally-stamped packet by view.
 func (m *machine) onCausal(pk causalPkt) {
-	v := pk.pktView()
+	v := pk.PktView()
 	switch {
 	case v == m.view.ID:
 		if m.blocked {
@@ -181,10 +181,10 @@ func (m *machine) onCausal(pk causalPkt) {
 			// delivered it.
 			return
 		}
-		if _, dup := m.seen[pk.pktID()]; dup {
+		if _, dup := m.seen[pk.PktID()]; dup {
 			return
 		}
-		m.seen[pk.pktID()] = struct{}{}
+		m.seen[pk.PktID()] = struct{}{}
 		for _, d := range m.causal.Offer(pk) {
 			m.deliverCausal(d, false)
 		}

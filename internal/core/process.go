@@ -12,8 +12,8 @@ import (
 	"repro/internal/evs"
 	"repro/internal/fd"
 	"repro/internal/ids"
-	"repro/internal/simnet"
 	"repro/internal/stable"
+	"repro/internal/transport"
 )
 
 // Errors returned by the Process API.
@@ -47,7 +47,7 @@ type Stats struct {
 type Process struct {
 	pid   ids.PID
 	opts  Options
-	ep    *simnet.Endpoint
+	ep    transport.Endpoint
 	store *stable.Store
 	obs   Observer
 	// tobs is opts.Observer when it implements ExtendedObserver, else
@@ -95,12 +95,13 @@ const (
 )
 
 // Start boots a new incarnation of the given site, attaches it to the
-// fabric, installs its bootstrap singleton view, and starts the protocol.
-// The first event on Events is always the ViewEvent for the singleton
-// view (the paper: a history begins with the view change that joins the
-// group); larger views follow as the membership protocol merges it with
-// whatever it can reach.
-func Start(fabric *simnet.Fabric, reg *stable.Registry, site string, opts Options) (*Process, error) {
+// transport (the simulated fabric or a real-socket backend), installs
+// its bootstrap singleton view, and starts the protocol. The first event
+// on Events is always the ViewEvent for the singleton view (the paper: a
+// history begins with the view change that joins the group); larger
+// views follow as the membership protocol merges it with whatever it can
+// reach.
+func Start(tr transport.Transport, reg *stable.Registry, site string, opts Options) (*Process, error) {
 	opts = opts.withDefaults()
 	store := reg.Open(site)
 
@@ -113,7 +114,7 @@ func Start(fabric *simnet.Fabric, reg *stable.Registry, site string, opts Option
 	store.Put(keyInc, incBuf[:])
 
 	pid := ids.PID{Site: site, Inc: inc}
-	ep, err := fabric.Attach(pid)
+	ep, err := tr.Attach(pid)
 	if err != nil {
 		return nil, fmt.Errorf("core: attach %v: %w", pid, err)
 	}
@@ -337,7 +338,16 @@ func (p *Process) run() {
 				if p.tobs != nil {
 					p.tobs.OnPacket(p.pid, msg.Kind, msg.Size, false)
 				}
-				p.m.onPacket(msg, time.Now())
+				now := time.Now()
+				p.m.onPacket(msg, now)
+				// Payloads the transport coalesced onto this packet (e.g.
+				// heartbeats riding on data) are processed after it.
+				for _, pb := range msg.Piggyback {
+					if p.tobs != nil {
+						p.tobs.OnPacket(p.pid, pb.Kind, pb.Size, false)
+					}
+					p.m.onPacket(pb, now)
+				}
 			}
 			if p.ep.Closed() {
 				return

@@ -2,185 +2,32 @@ package core
 
 import (
 	"repro/internal/clock"
-	"repro/internal/evs"
 	"repro/internal/ids"
+	"repro/internal/transport/wire"
 )
 
-// Wire packets. All packets carry the group name; processes silently drop
-// packets for other groups. Packets are passed by value through the
-// in-memory fabric; every mutable field is treated as immutable once sent.
-
-// pktHeartbeat is the periodic liveness-and-discovery broadcast. Hearing
-// a heartbeat from a process outside the current view (or advertising a
-// different view) is the merge/join trigger.
-type pktHeartbeat struct {
-	Group string
-	From  ids.PID
-	// View is the sender's current view id; lets receivers detect
-	// foreign views and stale members.
-	View ids.ViewID
-	// MaxEpoch is the highest proposal/view epoch the sender has seen;
-	// gossiping it keeps coordinators' proposal epochs ahead of every
-	// commitment in the partition.
-	MaxEpoch uint64
-	// VC is the sender's per-view delivery vector (its vector clock
-	// restricted to the view composition). Receivers in the same view
-	// compute the component-wise minimum across members: messages at or
-	// below it are *stable* — delivered by everybody — and can be pruned
-	// from the flush buffers.
-	VC clock.Vector
-	// Left is set on the farewell heartbeat of a leaving process.
-	Left bool
-}
-
-func (pktHeartbeat) FabricKind() string { return "hb" }
-func (p pktHeartbeat) FabricSize() int  { return 40 + 8*len(p.VC) }
-
-// pktData is an application multicast — or, when Unicast is set, an
-// addressed point-to-point message within the view (used e.g. by the
-// state-transfer tool). Unicasts are delivered only in the view they
-// were sent in, but are excluded from the flush (Agreement applies to
-// multicasts; an addressed message concerns one recipient only).
-type pktData struct {
-	Group   string
-	ID      ids.MsgID
-	View    ids.ViewID
-	Stamp   clock.Vector
-	Payload []byte
-	Unicast bool
-}
-
-func (pktData) FabricKind() string { return "data" }
-func (p pktData) FabricSize() int  { return 48 + len(p.Payload) + 8*len(p.Stamp) }
-
-// CausalSender implements clock.CausalMsg.
-func (p pktData) CausalSender() ids.PID { return p.ID.Sender }
-
-// CausalStamp implements clock.CausalMsg.
-func (p pktData) CausalStamp() clock.Vector { return p.Stamp }
-
-// pktEChange is an e-view change multicast by the view's sequencer. It
-// travels through the same causal channel as data so that Property 6.2
-// (consistent cuts) holds.
-type pktEChange struct {
-	Group string
-	ID    ids.MsgID
-	View  ids.ViewID
-	Stamp clock.Vector
-	// Seq is the per-view e-view change sequence number (1-based).
-	Seq  uint32
-	Kind EChangeKind
-	// Subviews is the argument of a SubviewMerge.
-	Subviews []ids.SubviewID
-	// SVSets is the argument of an SVSetMerge.
-	SVSets []ids.SVSetID
-}
-
-func (pktEChange) FabricKind() string { return "echange" }
-func (p pktEChange) FabricSize() int {
-	return 64 + 24*len(p.Subviews) + 24*len(p.SVSets) + 8*len(p.Stamp)
-}
-
-// CausalSender implements clock.CausalMsg.
-func (p pktEChange) CausalSender() ids.PID { return p.ID.Sender }
-
-// CausalStamp implements clock.CausalMsg.
-func (p pktEChange) CausalStamp() clock.Vector { return p.Stamp }
+// Wire packets. The concrete types live in internal/transport/wire so
+// that socket backends can encode them; core keeps its historical pkt*
+// names as aliases. All packets carry the group name; processes
+// silently drop packets for other groups. Packets are passed by value
+// through the transport; every mutable field is treated as immutable
+// once sent.
+type (
+	pktHeartbeat = wire.Heartbeat
+	pktData      = wire.Data
+	pktEChange   = wire.EChange
+	pktMergeReq  = wire.MergeReq
+	pktPropose   = wire.Propose
+	pktAck       = wire.Ack
+	pktInstall   = wire.Install
+)
 
 // causalPkt is the union of packet types that flow through the causal
 // delivery buffer.
 type causalPkt interface {
 	clock.CausalMsg
-	pktID() ids.MsgID
-	pktView() ids.ViewID
-}
-
-func (p pktData) pktID() ids.MsgID       { return p.ID }
-func (p pktData) pktView() ids.ViewID    { return p.View }
-func (p pktEChange) pktID() ids.MsgID    { return p.ID }
-func (p pktEChange) pktView() ids.ViewID { return p.View }
-
-// pktMergeReq asks the view's sequencer to perform a merge. Fire-and-
-// forget: if the sequencer or the view dies first, the application will
-// observe the absence of the corresponding EChangeEvent and may retry.
-type pktMergeReq struct {
-	Group string
-	From  ids.PID
-	View  ids.ViewID
-	Kind  EChangeKind
-	// Subviews / SVSets are the merge arguments.
-	Subviews []ids.SubviewID
-	SVSets   []ids.SVSetID
-}
-
-func (pktMergeReq) FabricKind() string { return "mergereq" }
-func (p pktMergeReq) FabricSize() int  { return 48 + 24*len(p.Subviews) + 24*len(p.SVSets) }
-
-// pktPropose starts (or retries) a view agreement round.
-type pktPropose struct {
-	Group string
-	// Proposal is the id the new view will have if installed.
-	Proposal ids.ViewID
-	// Comp is the proposed composition.
-	Comp []ids.PID
-}
-
-func (pktPropose) FabricKind() string { return "propose" }
-func (p pktPropose) FabricSize() int  { return 32 + 16*len(p.Comp) }
-
-// pktAck is a member's answer to a proposal. It reports everything the
-// coordinator needs for the flush and for composing the new enriched
-// view: the member's predecessor view, the application messages it has
-// delivered in that view (with bodies, so the coordinator can
-// retransmit), the e-view change prefix it has applied, and its current
-// structure.
-type pktAck struct {
-	Group    string
-	Proposal ids.ViewID
-	From     ids.PID
-	// PredView is the view the member is leaving.
-	PredView ids.ViewID
-	// Delivered are the data packets the member has delivered in
-	// PredView, keyed by message id.
-	Delivered map[ids.MsgID]pktData
-	// EChangeSeq is the highest e-view change applied in PredView.
-	EChangeSeq uint32
-	// Structure is the member's current enriched structure (reflecting
-	// EChangeSeq changes).
-	Structure evs.Structure
-}
-
-func (pktAck) FabricKind() string { return "ack" }
-func (p pktAck) FabricSize() int {
-	n := 64
-	for _, d := range p.Delivered {
-		n += d.FabricSize()
-	}
-	return n
-}
-
-// pktInstall finalizes a view agreement round.
-type pktInstall struct {
-	Group    string
-	Proposal ids.ViewID
-	Comp     []ids.PID
-	// Flush maps each predecessor view to the union of data packets
-	// delivered in it by the members joining from it. A member delivers
-	// the ones it misses before installing (P2.1).
-	Flush map[ids.ViewID][]pktData
-	// Structure is the composed enriched structure of the new view.
-	Structure evs.Structure
-}
-
-func (pktInstall) FabricKind() string { return "install" }
-func (p pktInstall) FabricSize() int {
-	n := 48 + 16*len(p.Comp)
-	for _, msgs := range p.Flush {
-		for _, d := range msgs {
-			n += d.FabricSize()
-		}
-	}
-	return n
+	PktID() ids.MsgID
+	PktView() ids.ViewID
 }
 
 // Compile-time interface checks.

@@ -422,6 +422,66 @@ func (s Structure) String() string {
 	return b.String()
 }
 
+// Row is one subview's entry in a structure's canonical form: the
+// subview, its owning sv-set, and its sorted member list. The wire
+// codec (internal/transport/wire) serializes structures through this
+// form rather than the internal maps.
+type Row struct {
+	Subview ids.SubviewID
+	SVSet   ids.SVSetID
+	Members []ids.PID
+}
+
+// Export returns the structure in canonical form: one Row per subview,
+// sorted by subview id, plus the identifier allocators needed to keep
+// creating fresh subview/sv-set ids after a round trip.
+func (s Structure) Export() (rows []Row, nextSv, nextSs uint32) {
+	for _, sv := range s.Subviews() {
+		rows = append(rows, Row{
+			Subview: sv,
+			SVSet:   s.svsetOf[sv],
+			Members: s.subviews[sv].Sorted(),
+		})
+	}
+	return rows, s.nextSv, s.nextSs
+}
+
+// FromRows rebuilds a structure from its canonical form — the inverse
+// of Export. Rows are validated just enough to keep the internal
+// representation consistent: duplicate subview ids, empty subviews, and
+// duplicate members across subviews are errors (a decoded structure
+// must satisfy the same partition shape Validate checks against a
+// composition).
+func FromRows(view ids.ViewID, rows []Row, nextSv, nextSs uint32) (Structure, error) {
+	s := Structure{
+		View:     view,
+		subviews: make(map[ids.SubviewID]ids.PIDSet, len(rows)),
+		svsetOf:  make(map[ids.SubviewID]ids.SVSetID, len(rows)),
+		nextSv:   nextSv,
+		nextSs:   nextSs,
+	}
+	seen := make(ids.PIDSet)
+	for _, row := range rows {
+		if _, dup := s.subviews[row.Subview]; dup {
+			return Structure{}, fmt.Errorf("evs: duplicate subview %v in rows", row.Subview)
+		}
+		if len(row.Members) == 0 {
+			return Structure{}, fmt.Errorf("evs: subview %v has no members", row.Subview)
+		}
+		members := make(ids.PIDSet, len(row.Members))
+		for _, p := range row.Members {
+			if seen.Has(p) {
+				return Structure{}, fmt.Errorf("evs: process %v in more than one subview", p)
+			}
+			seen.Add(p)
+			members.Add(p)
+		}
+		s.subviews[row.Subview] = members
+		s.svsetOf[row.Subview] = row.SVSet
+	}
+	return s, nil
+}
+
 func dedupSubviews(svs []ids.SubviewID) []ids.SubviewID {
 	seen := make(map[ids.SubviewID]struct{}, len(svs))
 	out := svs[:0:0]

@@ -16,6 +16,8 @@ import (
 	"repro/internal/ids"
 	"repro/internal/simnet"
 	"repro/internal/stable"
+	"repro/internal/transport"
+	"repro/internal/transport/udp"
 )
 
 // Timing is the protocol timing profile experiments run with.
@@ -33,6 +35,11 @@ type Timing struct {
 	// Experiments that install their own observer compose with it via
 	// obs.Tee rather than replacing it.
 	Observer core.Observer
+	// Transport selects the network backend: "sim" (default, the
+	// deterministic simulator) or "udp" (real loopback sockets).
+	// Experiments built on simulator-only models keep using sim
+	// regardless: E3 (receiver bandwidth) and E7 (delay jitter).
+	Transport string
 }
 
 // FastTiming is the default simulation-speed profile. It is the single
@@ -75,17 +82,32 @@ func (t Timing) Options(group string, enriched bool) core.Options {
 	}
 }
 
+// NetFabric is what experiments need from a network backend: the
+// transport surface plus partition fault injection. Both simnet.Fabric
+// and udp.Transport satisfy it.
+type NetFabric interface {
+	transport.Transport
+	transport.Partitioner
+}
+
 // env is one experiment's world: fabric + storage.
 type env struct {
-	fabric *simnet.Fabric
+	fabric NetFabric
 	reg    *stable.Registry
 }
 
-func newEnv(seed int64) *env { return newEnvBW(seed, 0) }
+// newEnv builds the experiment environment over the profile's selected
+// transport (Timing.Transport).
+func (t Timing) newEnv(seed int64) *env {
+	if t.Transport == "udp" {
+		return &env{fabric: udp.New(udp.Config{}), reg: stable.NewRegistry()}
+	}
+	return newEnvBW(seed, 0)
+}
 
-// newEnvBW builds an environment whose fabric models receiver-link
-// bandwidth (bytes/sec; 0 = infinite). E3 uses it so that state size has
-// a cost.
+// newEnvBW builds a simulator environment whose fabric models
+// receiver-link bandwidth (bytes/sec; 0 = infinite). E3 uses it so that
+// state size has a cost; it is simulator-only by construction.
 func newEnvBW(seed, bandwidth int64) *env {
 	return &env{
 		fabric: simnet.New(simnet.Config{

@@ -34,7 +34,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 
 	storm := func(singleJoin bool) (int, time.Duration, error) {
 		timing.MarkRun(fmt.Sprintf("e1 join-storm m=%d single-join=%v", m, singleJoin))
-		e := newEnv(seed)
+		e := timing.newEnv(seed)
 		defer e.close()
 		opts := timing.Options("e1", true)
 		opts.SingleJoin = singleJoin
@@ -85,7 +85,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 	// split them into two halves, let both sides stabilize, heal, and
 	// count the views one member installs from the heal to convergence.
 	timing.MarkRun(fmt.Sprintf("e1 partition-merge m=%d", m))
-	e := newEnv(seed + 1)
+	e := timing.newEnv(seed + 1)
 	defer e.close()
 	opts := timing.Options("e1m", true)
 	var procs []*core.Process

@@ -44,7 +44,7 @@ func RunE2(n int, timing Timing, seed int64) (E2Row, error) {
 	if n < 3 {
 		return row, fmt.Errorf("e2: need n >= 3, got %d", n)
 	}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	opts := timing.Options("e2", true)
 

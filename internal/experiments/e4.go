@@ -67,7 +67,7 @@ func fill(row *E4Row, c sstate.Classification) {
 // e4Transfer: a merged majority cluster plus one repaired member.
 func e4Transfer(timing Timing, seed int64) (E4Row, error) {
 	row := E4Row{Scenario: "partition repair (quorum object)", Expected: sstate.Transfer}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	opts := timing.Options("e4t", true)
 	const n = 4
@@ -114,7 +114,7 @@ func e4Transfer(timing Timing, seed int64) (E4Row, error) {
 // e4Creation: total failure, everyone recovers fresh.
 func e4Creation(timing Timing, seed int64) (E4Row, error) {
 	row := E4Row{Scenario: "total failure recovery", Expected: sstate.Creation}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	opts := timing.Options("e4c", true)
 	const n = 3
@@ -163,7 +163,7 @@ func e4Merging(timing Timing, seed int64, withJoiner bool) (E4Row, error) {
 		row.Scenario = "partition union + fresh joiner"
 		row.Expected = sstate.TransferMerging
 	}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	opts := timing.Options("e4m", true)
 	const n = 4

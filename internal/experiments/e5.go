@@ -34,7 +34,7 @@ type E5Row struct {
 func RunE5(n int, enriched bool, timing Timing, seed int64) (E5Row, error) {
 	const msgs = 500
 	row := E5Row{N: n, Enriched: enriched, Msgs: msgs}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	opts := timing.Options("e5", enriched)
 

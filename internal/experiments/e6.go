@@ -32,7 +32,7 @@ type E6Row struct {
 // RunE6 measures one (rate, enriched) cell over the given window.
 func RunE6(meanBetween, window time.Duration, enriched bool, timing Timing, seed int64) (E6Row, error) {
 	row := E6Row{MeanBetween: meanBetween, Enriched: enriched}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	const n = 5
 	sites := make([]string, n)

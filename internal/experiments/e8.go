@@ -42,7 +42,7 @@ type E8Row struct {
 // RunE8 measures one churn-rate cell over the given window.
 func RunE8(meanBetween, window time.Duration, timing Timing, seed int64) (E8Row, error) {
 	row := E8Row{MeanBetween: meanBetween}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 
 	// Cell-local trace: the spans profiled are exactly this cell's.

@@ -72,7 +72,7 @@ func (o *e9Object) NeedPull(core.EView, map[ids.PID][]byte) (ids.PID, bool) {
 // RunE9 measures one (cadence, enriched) cell over the given window.
 func RunE9(meanBetween, window time.Duration, enriched bool, timing Timing, seed int64) (E9Row, error) {
 	row := E9Row{MeanBetween: meanBetween, Enriched: enriched}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 
 	const n = 5

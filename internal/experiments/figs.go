@@ -27,7 +27,7 @@ type F1Row struct {
 
 // RunF1 executes the schedule and returns one row per replica.
 func RunF1(timing Timing, seed int64) ([]F1Row, error) {
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	const n = 5
 	sites := make([]string, n)
@@ -144,7 +144,7 @@ type F2Row struct {
 // every other property over the trace. It returns the stage rows and
 // the number of checker violations (must be zero).
 func RunF2(timing Timing, seed int64) ([]F2Row, int, error) {
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	rec := check.NewRecorder()
 	opts := timing.Options("f2", true)
@@ -235,7 +235,7 @@ type F3Row struct {
 // RunF3 measures the row for group size n.
 func RunF3(n int, timing Timing, seed int64) (F3Row, error) {
 	row := F3Row{N: n}
-	e := newEnv(seed)
+	e := timing.newEnv(seed)
 	defer e.close()
 	rec := check.NewRecorder()
 	opts := timing.Options("f3", true)

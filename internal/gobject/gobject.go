@@ -32,7 +32,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/modes"
 	"repro/internal/obs"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/sstate"
 	"repro/internal/stable"
 	"repro/internal/transfer"
@@ -194,7 +194,7 @@ func decodeHostMsg(payload []byte) (hostMsg, bool) {
 }
 
 // Open starts a replica of obj at the given site.
-func Open(fabric *simnet.Fabric, reg *stable.Registry, site string, coreOpts core.Options, cfg Config, obj Object) (*Host, error) {
+func Open(fabric transport.Transport, reg *stable.Registry, site string, coreOpts core.Options, cfg Config, obj Object) (*Host, error) {
 	coreOpts.Enriched = cfg.Enriched
 	coreOpts.LogViews = true
 	p, err := core.Start(fabric, reg, site, coreOpts)

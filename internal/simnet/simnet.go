@@ -8,6 +8,10 @@
 // The fabric carries opaque payloads between named endpoints and offers a
 // broadcast primitive modeling LAN-style heartbeat broadcast, which the
 // membership layer uses for discovery after partitions heal.
+//
+// The fabric is the default implementation of transport.Transport (and
+// its Partitioner fault surface); internal/transport/udp is the
+// real-socket alternative.
 package simnet
 
 import (
@@ -20,26 +24,22 @@ import (
 
 	"repro/internal/eventq"
 	"repro/internal/ids"
+	"repro/internal/transport"
 )
 
-// Message is a payload in flight or delivered.
-type Message struct {
-	From    ids.PID
-	To      ids.PID
-	Payload any
-	// Kind is a short label used for per-kind statistics (e.g. "data",
-	// "propose"). Derived from the payload if it implements Kinder.
-	Kind string
-	// Size is the nominal size in bytes used for byte counters. Derived
-	// from the payload if it implements Sizer, else 1.
-	Size int
+// Message, Stats, Kinder, and Sizer are the transport-layer types; the
+// aliases keep simnet's historical names working.
+type (
+	Message = transport.Message
+	Stats   = transport.Stats
+	Kinder  = transport.Kinder
+	Sizer   = transport.Sizer
+)
+
+// Describe classifies a payload for statistics; see transport.Describe.
+func Describe(payload any) (kind string, size int) {
+	return transport.Describe(payload)
 }
-
-// Kinder lets payloads label themselves for fabric statistics.
-type Kinder interface{ FabricKind() string }
-
-// Sizer lets payloads report a nominal wire size for fabric statistics.
-type Sizer interface{ FabricSize() int }
 
 // DelayModel produces per-message latencies.
 type DelayModel interface {
@@ -75,67 +75,6 @@ func (u *UniformDelay) Delay(_, _ string) time.Duration {
 	return u.Min + time.Duration(u.rng.Int63n(int64(u.Max-u.Min)+1))
 }
 
-// Stats aggregates fabric counters. Read a consistent snapshot via
-// Fabric.Stats.
-//
-// Snapshot semantics: Fabric.Stats returns a point-in-time copy taken
-// under the fabric lock — all counters in one returned value are
-// mutually consistent, and the per-kind maps are deep copies the caller
-// owns (mutating them does not affect the fabric, and later fabric
-// traffic does not affect them). Fabric.ResetStats zeroes every counter,
-// including the per-kind maps, atomically with respect to Stats; a
-// Stats/ResetStats pair brackets a measurement phase. Messages counted
-// as Sent include those subsequently dropped by loss, partition, or
-// dead-endpoint checks; Delivered counts only messages actually pushed
-// to an endpoint inbox.
-type Stats struct {
-	Sent      uint64
-	Delivered uint64
-	// DroppedLoss counts messages dropped by the random-loss model.
-	DroppedLoss uint64
-	// DroppedPartition counts messages dropped because source and
-	// destination were in different partition components (at send or at
-	// delivery time).
-	DroppedPartition uint64
-	// DroppedDead counts messages to endpoints that no longer exist.
-	DroppedDead uint64
-	// BytesSent sums nominal payload sizes of sent messages.
-	BytesSent uint64
-	// PerKind counts sent messages by payload kind (see Describe).
-	PerKind map[string]uint64
-	// PerKindBytes sums nominal payload sizes of sent messages by kind.
-	PerKindBytes map[string]uint64
-	// PerKindDelivered counts delivered messages by kind.
-	PerKindDelivered map[string]uint64
-}
-
-// newStats returns a zero Stats with allocated per-kind maps.
-func newStats() Stats {
-	return Stats{
-		PerKind:          make(map[string]uint64),
-		PerKindBytes:     make(map[string]uint64),
-		PerKindDelivered: make(map[string]uint64),
-	}
-}
-
-// clone returns a deep copy of s.
-func (s Stats) clone() Stats {
-	cp := s
-	cp.PerKind = make(map[string]uint64, len(s.PerKind))
-	for k, v := range s.PerKind {
-		cp.PerKind[k] = v
-	}
-	cp.PerKindBytes = make(map[string]uint64, len(s.PerKindBytes))
-	for k, v := range s.PerKindBytes {
-		cp.PerKindBytes[k] = v
-	}
-	cp.PerKindDelivered = make(map[string]uint64, len(s.PerKindDelivered))
-	for k, v := range s.PerKindDelivered {
-		cp.PerKindDelivered[k] = v
-	}
-	return cp
-}
-
 // Config parametrizes a Fabric.
 type Config struct {
 	// Delay is the latency model. Nil means a uniform 200µs–1ms model.
@@ -150,7 +89,14 @@ type Config struct {
 	Bandwidth int64
 	// Seed seeds the loss model's RNG.
 	Seed int64
+	// NoPiggyback disables heartbeat piggybacking (see broadcast); used
+	// by tests that need every heartbeat as its own packet.
+	NoPiggyback bool
 }
+
+// pendKey identifies the (sender, destination) pair of a queued data
+// packet eligible to carry piggybacked heartbeats.
+type pendKey struct{ from, to ids.PID }
 
 // Fabric is the simulated network. Create with New, stop with Close.
 type Fabric struct {
@@ -169,12 +115,23 @@ type Fabric struct {
 	// busyUntil models per-receiver ingress-link serialization when
 	// Bandwidth > 0.
 	busyUntil map[ids.PID]time.Time
+	// pending tracks, per (sender, destination), the most recently
+	// queued data packet, so a heartbeat broadcast to that destination
+	// can ride on it instead of becoming a packet of its own. Entries
+	// are invalidated when their packet leaves the queue.
+	pending map[pendKey]*scheduled
 
 	queue    deliveryQueue
 	wakeup   chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
 }
+
+// Compile-time checks: the fabric is a transport with fault injection.
+var (
+	_ transport.Transport   = (*Fabric)(nil)
+	_ transport.Partitioner = (*Fabric)(nil)
+)
 
 // New creates a running fabric.
 func New(cfg Config) *Fabric {
@@ -187,10 +144,11 @@ func New(cfg Config) *Fabric {
 		endpoints: make(map[ids.PID]*Endpoint),
 		component: make(map[string]int),
 		busyUntil: make(map[ids.PID]time.Time),
+		pending:   make(map[pendKey]*scheduled),
 		wakeup:    make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
-	f.stats = newStats()
+	f.stats = transport.NewStats()
 	go f.run()
 	return f
 }
@@ -218,7 +176,7 @@ var ErrClosed = errors.New("simnet: fabric closed")
 
 // Attach registers a new endpoint for pid. It is an error to attach a pid
 // that is already attached.
-func (f *Fabric) Attach(pid ids.PID) (*Endpoint, error) {
+func (f *Fabric) Attach(pid ids.PID) (transport.Endpoint, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -274,11 +232,13 @@ func (f *Fabric) Reachable(a, b string) bool {
 
 // Stats returns a consistent point-in-time snapshot of the fabric
 // counters; the per-kind maps are deep copies owned by the caller. See
-// the Stats type for the full snapshot semantics.
+// transport.Stats for the full snapshot semantics; in particular a
+// broadcast fan-out is applied in one critical section, so a snapshot
+// never observes half of one.
 func (f *Fabric) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.stats.clone()
+	return f.stats.Clone()
 }
 
 // ResetStats zeroes the fabric counters, including the per-kind maps
@@ -287,7 +247,7 @@ func (f *Fabric) Stats() Stats {
 func (f *Fabric) ResetStats() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.stats = newStats()
+	f.stats = transport.NewStats()
 }
 
 // Endpoints returns the currently attached pids, in sorted order.
@@ -301,33 +261,49 @@ func (f *Fabric) Endpoints() []ids.PID {
 	return set.Sorted()
 }
 
+// kick nudges the delivery goroutine after new traffic was queued.
+func (f *Fabric) kick() {
+	select {
+	case f.wakeup <- struct{}{}:
+	default:
+	}
+}
+
 // send enqueues a unicast message. Loss and partition checks happen at
 // send time; partition and liveness are re-checked at delivery time, so a
 // partition forming while a message is in flight also cuts it off.
 func (f *Fabric) send(from, to ids.PID, payload any) {
-	kind, size := Describe(payload)
+	kind, size := transport.Describe(payload)
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return
 	}
+	f.sendLocked(from, to, payload, kind, size)
+	f.mu.Unlock()
+	f.kick()
+}
+
+// sendLocked applies the full send path — counters, drop checks, delay
+// and bandwidth scheduling — for one message; f.mu must be held. Keeping
+// it a single locked step lets broadcast fan out a whole multicast under
+// one lock acquisition and makes every send atomic with respect to
+// Stats snapshots.
+func (f *Fabric) sendLocked(from, to ids.PID, payload any, kind string, size int) {
 	f.stats.Sent++
 	f.stats.BytesSent += uint64(size)
 	f.stats.PerKind[kind]++
 	f.stats.PerKindBytes[kind] += uint64(size)
 	if f.component[from.Site] != f.component[to.Site] {
 		f.stats.DroppedPartition++
-		f.mu.Unlock()
 		return
 	}
 	if f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate {
 		f.stats.DroppedLoss++
-		f.mu.Unlock()
 		return
 	}
 	if _, ok := f.endpoints[to]; !ok {
 		f.stats.DroppedDead++
-		f.mu.Unlock()
 		return
 	}
 	delay := f.cfg.Delay.Delay(from.Site, to.Site)
@@ -343,33 +319,62 @@ func (f *Fabric) send(from, to ids.PID, payload any) {
 		f.busyUntil[to] = due
 	}
 	f.nextSeq++
-	heap.Push(&f.queue, &scheduled{
+	sc := &scheduled{
 		due: due,
 		seq: f.nextSeq,
 		msg: Message{From: from, To: to, Payload: payload, Kind: kind, Size: size},
-	})
-	f.mu.Unlock()
-	select {
-	case f.wakeup <- struct{}{}:
-	default:
 	}
+	if kind == "data" {
+		// Remember the packet as a piggyback carrier for this link until
+		// it leaves the queue.
+		sc.key = pendKey{from: from, to: to}
+		f.pending[sc.key] = sc
+	}
+	heap.Push(&f.queue, sc)
 }
 
 // broadcast sends payload from `from` to every attached endpoint except
 // the sender itself, subject to the same loss/partition rules as unicast.
 // It models a LAN broadcast: the sender does not need to know who exists.
+//
+// The whole fan-out runs under one lock acquisition (not one per
+// packet), in sorted destination order so equal-due-time tie-breaking
+// and loss-RNG consumption are deterministic. Heartbeats additionally
+// piggyback: where a data packet from the same sender is already queued
+// toward a destination, the heartbeat rides on it — sharing its
+// delivery fate — instead of becoming a packet of its own, which is
+// what keeps the hb packet count low under data load.
 func (f *Fabric) broadcast(from ids.PID, payload any) {
+	kind, size := transport.Describe(payload)
 	f.mu.Lock()
-	targets := make([]ids.PID, 0, len(f.endpoints))
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	set := make(ids.PIDSet, len(f.endpoints))
 	for pid := range f.endpoints {
-		if pid != from {
-			targets = append(targets, pid)
+		set.Add(pid)
+	}
+	piggyback := kind == "hb" && !f.cfg.NoPiggyback
+	for _, to := range set.Sorted() {
+		if to == from {
+			continue
 		}
+		if piggyback {
+			if sc := f.pending[pendKey{from: from, to: to}]; sc != nil {
+				sc.msg.Piggyback = append(sc.msg.Piggyback,
+					Message{From: from, To: to, Payload: payload, Kind: kind, Size: size})
+				f.stats.Piggybacked++
+				f.stats.PerKindPiggyback[kind]++
+				f.stats.BytesSent += uint64(size)
+				f.stats.PerKindBytes[kind] += uint64(size)
+				continue
+			}
+		}
+		f.sendLocked(from, to, payload, kind, size)
 	}
 	f.mu.Unlock()
-	for _, to := range targets {
-		f.send(from, to, payload)
-	}
+	f.kick()
 }
 
 func (f *Fabric) run() {
@@ -386,6 +391,9 @@ func (f *Fabric) run() {
 				break
 			}
 			heap.Pop(&f.queue)
+			if next.key != (pendKey{}) && f.pending[next.key] == next {
+				delete(f.pending, next.key)
+			}
 			f.deliverLocked(next.msg)
 		}
 		empty := f.queue.Len() == 0
@@ -410,7 +418,9 @@ func (f *Fabric) run() {
 	}
 }
 
-// deliverLocked finalizes delivery of msg; f.mu must be held.
+// deliverLocked finalizes delivery of msg; f.mu must be held. Piggybacked
+// payloads ride inside msg and share its fate, counted only under the
+// piggyback counters (see transport.Stats).
 func (f *Fabric) deliverLocked(msg Message) {
 	if f.component[msg.From.Site] != f.component[msg.To.Site] {
 		f.stats.DroppedPartition++
@@ -426,26 +436,14 @@ func (f *Fabric) deliverLocked(msg Message) {
 	ep.inbox.Push(msg)
 }
 
-// Describe classifies a payload for statistics: its kind label (via
-// Kinder, default "other") and nominal wire size in bytes (via Sizer,
-// default 1). Instrumentation layers use it to label packets the same
-// way the fabric does.
-func Describe(payload any) (kind string, size int) {
-	kind, size = "other", 1
-	if k, ok := payload.(Kinder); ok {
-		kind = k.FabricKind()
-	}
-	if s, ok := payload.(Sizer); ok {
-		size = s.FabricSize()
-	}
-	return kind, size
-}
-
 // scheduled is one in-flight message.
 type scheduled struct {
 	due time.Time
 	seq uint64 // tie-break so ordering is deterministic for equal due times
 	msg Message
+	// key is set for data packets while they are piggyback carriers in
+	// Fabric.pending (zero otherwise).
+	key pendKey
 }
 
 type deliveryQueue []*scheduled
@@ -474,6 +472,8 @@ type Endpoint struct {
 	fabric *Fabric
 	inbox  *eventq.Queue[Message]
 }
+
+var _ transport.Endpoint = (*Endpoint)(nil)
 
 // PID returns the endpoint's process id.
 func (e *Endpoint) PID() ids.PID { return e.pid }

@@ -29,7 +29,7 @@ func attach(t *testing.T, f *Fabric, pid ids.PID) *Endpoint {
 	if err != nil {
 		t.Fatalf("Attach(%v): %v", pid, err)
 	}
-	return ep
+	return ep.(*Endpoint)
 }
 
 func recvWithin(t *testing.T, ep *Endpoint, d time.Duration) (Message, bool) {

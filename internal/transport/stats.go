@@ -1,0 +1,106 @@
+package transport
+
+// Stats aggregates transport counters. Read a consistent snapshot via
+// Transport.Stats.
+//
+// Snapshot semantics — the contract every backend must honor:
+//
+//   - Transport.Stats returns a point-in-time copy taken under the
+//     backend's counter lock: all counters in one returned value are
+//     mutually consistent, and the per-kind maps are deep copies the
+//     caller owns (mutating them does not affect the transport, and
+//     later traffic does not affect them).
+//   - Counter updates for one logical send — the packet counter, the
+//     byte counter, and the matching per-kind entries — are applied
+//     atomically with respect to Stats, so within any snapshot
+//     Sent == Σ PerKind, BytesSent == Σ PerKindBytes, and
+//     Delivered == Σ PerKindDelivered. A multicast/broadcast fan-out is
+//     additionally applied under one critical section, so a snapshot
+//     never observes half of a fan-out.
+//   - Delivered + the drop counters never exceed Sent; the difference
+//     is traffic still in flight.
+//   - Transport.ResetStats zeroes every counter, including the
+//     per-kind maps, atomically with respect to Stats. Snapshots
+//     returned by earlier Stats calls are unaffected.
+//
+// Messages counted as Sent include those subsequently dropped by loss,
+// partition, queue-overflow, or dead-endpoint checks; Delivered counts
+// only messages actually pushed to an endpoint inbox.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	// DroppedLoss counts messages dropped by a random-loss model
+	// (simulator only).
+	DroppedLoss uint64
+	// DroppedPartition counts messages dropped because source and
+	// destination were in different partition components (at send or at
+	// delivery time).
+	DroppedPartition uint64
+	// DroppedDead counts messages to endpoints that no longer exist (or
+	// were never known to the transport).
+	DroppedDead uint64
+	// DroppedOversize counts messages whose encoded frame exceeded the
+	// backend's frame budget (real-socket backends only: a frame must
+	// fit one datagram).
+	DroppedOversize uint64
+	// DroppedOverflow counts messages discarded because the receiver's
+	// bounded inbox was full (real-socket backends only; the simulator's
+	// queues are unbounded).
+	DroppedOverflow uint64
+	// DroppedDecode counts received frames that failed to decode
+	// (truncated, unknown kind, or corrupt — real-socket backends only).
+	DroppedDecode uint64
+	// Piggybacked counts payloads coalesced onto an already-queued
+	// packet instead of being sent as packets of their own (e.g.
+	// heartbeats riding on data packets). Piggybacked payloads are NOT
+	// counted in Sent/Delivered/PerKind/PerKindDelivered — those count
+	// packets — but their bytes are on the wire and so are included in
+	// BytesSent and PerKindBytes.
+	Piggybacked uint64
+	// BytesSent sums nominal payload sizes of sent messages (including
+	// piggybacked payloads).
+	BytesSent uint64
+	// PerKind counts sent packets by payload kind (see Describe).
+	PerKind map[string]uint64
+	// PerKindBytes sums nominal payload sizes of sent traffic by kind,
+	// including piggybacked payloads.
+	PerKindBytes map[string]uint64
+	// PerKindDelivered counts delivered packets by kind.
+	PerKindDelivered map[string]uint64
+	// PerKindPiggyback counts piggybacked payloads by kind (sent side).
+	PerKindPiggyback map[string]uint64
+}
+
+// NewStats returns a zero Stats with allocated per-kind maps.
+func NewStats() Stats {
+	return Stats{
+		PerKind:          make(map[string]uint64),
+		PerKindBytes:     make(map[string]uint64),
+		PerKindDelivered: make(map[string]uint64),
+		PerKindPiggyback: make(map[string]uint64),
+	}
+}
+
+// Clone returns a deep copy of s (the per-kind maps are copied).
+func (s Stats) Clone() Stats {
+	cp := s
+	cp.PerKind = cloneKinds(s.PerKind)
+	cp.PerKindBytes = cloneKinds(s.PerKindBytes)
+	cp.PerKindDelivered = cloneKinds(s.PerKindDelivered)
+	cp.PerKindPiggyback = cloneKinds(s.PerKindPiggyback)
+	return cp
+}
+
+func cloneKinds(m map[string]uint64) map[string]uint64 {
+	cp := make(map[string]uint64, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Dropped sums all drop counters.
+func (s Stats) Dropped() uint64 {
+	return s.DroppedLoss + s.DroppedPartition + s.DroppedDead +
+		s.DroppedOversize + s.DroppedOverflow + s.DroppedDecode
+}

@@ -1,0 +1,126 @@
+// Package transport defines the message-transport seam of the stack:
+// the interfaces the run-time (internal/core), the failure-detection
+// path, and the group-object layer need from a network, extracted from
+// the original hard-wired simulator coupling.
+//
+// Two backends implement it today:
+//
+//   - internal/simnet: the deterministic in-process simulator (delays,
+//     losses, partition oracle) — the default for tests and experiments;
+//   - internal/transport/udp: real loopback/LAN UDP sockets with a
+//     binary wire codec (internal/transport/wire), per-destination
+//     write coalescing, and bounded receive queues.
+//
+// The paper's run-time assumes only an asynchronous, partitionable
+// network; both backends provide exactly that surface, so every layer
+// above this package is oblivious to which one carries its packets.
+package transport
+
+import "repro/internal/ids"
+
+// Message is a payload in flight or delivered.
+type Message struct {
+	From    ids.PID
+	To      ids.PID
+	Payload any
+	// Kind is a short label used for per-kind statistics (e.g. "data",
+	// "propose"). Derived from the payload if it implements Kinder.
+	Kind string
+	// Size is the nominal size in bytes used for byte counters. Derived
+	// from the payload if it implements Sizer, else 1.
+	Size int
+	// Piggyback carries payloads the transport coalesced onto this
+	// message instead of sending them as packets of their own (e.g. a
+	// pending heartbeat riding on an already-queued data packet).
+	// Piggybacked payloads share the carrier's fate: they are delivered
+	// with it or dropped with it. Receivers must process them after the
+	// primary payload.
+	Piggyback []Message
+}
+
+// Kinder lets payloads label themselves for transport statistics.
+type Kinder interface{ FabricKind() string }
+
+// Sizer lets payloads report a nominal wire size for transport
+// statistics.
+type Sizer interface{ FabricSize() int }
+
+// Describe classifies a payload for statistics: its kind label (via
+// Kinder, default "other") and nominal wire size in bytes (via Sizer,
+// default 1). Instrumentation layers use it to label packets the same
+// way the transports do.
+func Describe(payload any) (kind string, size int) {
+	kind, size = "other", 1
+	if k, ok := payload.(Kinder); ok {
+		kind = k.FabricKind()
+	}
+	if s, ok := payload.(Sizer); ok {
+		size = s.FabricSize()
+	}
+	return kind, size
+}
+
+// Endpoint is one process's attachment to a transport.
+type Endpoint interface {
+	// PID returns the endpoint's process id.
+	PID() ids.PID
+	// Send unicasts payload to `to`. Sends never block on the network
+	// and never fail loudly: an unreachable or unknown destination is a
+	// silent drop counted in Stats, exactly the asynchronous-network
+	// contract the protocol is built for.
+	Send(to ids.PID, payload any)
+	// Broadcast sends payload to every attached endpoint except the
+	// sender itself, modeling LAN-style heartbeat broadcast; the
+	// membership layer uses it for discovery after partitions heal.
+	Broadcast(payload any)
+	// Recv blocks for the next message. ok is false once the endpoint
+	// is detached (crashed) or the transport closed, and the inbox has
+	// drained.
+	Recv() (Message, bool)
+	// TryRecv returns the next message without blocking.
+	TryRecv() (Message, bool)
+	// Wait returns a channel signaled when the inbox may be non-empty;
+	// use with TryRecv in select loops. A signal is a hint: always
+	// re-check with TryRecv.
+	Wait() <-chan struct{}
+	// Closed reports whether the endpoint has been detached.
+	Closed() bool
+	// Detach removes this endpoint from the transport, modeling a
+	// crash: in-flight messages to it are dropped and its inbox closes.
+	Detach()
+}
+
+// Transport hands out endpoints and aggregates traffic statistics. All
+// methods are safe for concurrent use.
+type Transport interface {
+	// Attach registers a new endpoint for pid. It is an error to attach
+	// a pid that is already attached, or to attach after Close.
+	Attach(pid ids.PID) (Endpoint, error)
+	// Close stops the transport and closes all endpoints.
+	Close()
+	// Stats returns a consistent point-in-time snapshot of the traffic
+	// counters. See the Stats type for the exact semantics promised.
+	Stats() Stats
+	// ResetStats zeroes every counter, including the per-kind maps,
+	// atomically with respect to Stats; a Stats/ResetStats pair
+	// brackets a measurement phase.
+	ResetStats()
+}
+
+// Partitioner is the optional fault-injection surface of a transport:
+// splitting the network into components of *sites* that cannot reach
+// each other, and healing it. The simulator implements it natively; the
+// UDP backend emulates it with a send/receive-time filter (the
+// socket-level analogue of a firewall rule). Experiments and the fault
+// harnesses type-assert for it.
+type Partitioner interface {
+	// SetPartitions splits the network into the given components of
+	// sites. Sites not mentioned form one extra implicit component of
+	// their own. Passing no arguments heals the network.
+	SetPartitions(components ...[]string)
+	// Heal removes all partitions.
+	Heal()
+	// Reachable reports whether sites a and b are currently in the same
+	// partition component.
+	Reachable(a, b string) bool
+}

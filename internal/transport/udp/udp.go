@@ -1,0 +1,537 @@
+// Package udp carries the view-synchrony protocol over real UDP
+// sockets, implementing transport.Transport with the same surface the
+// simulator provides: named endpoints, LAN-style broadcast, per-kind
+// statistics, and a partition fault-injection oracle (emulated with a
+// send/receive-time filter, the socket-level analogue of a firewall
+// rule).
+//
+// Each attached endpoint binds its own UDP socket (loopback by default)
+// and registers in the transport's peer directory, which doubles as the
+// broadcast target set. For multi-host use, seed remote processes into
+// the directory with AddPeer.
+//
+// Packets are encoded with the internal/transport/wire codec. Writes
+// coalesce: frames toward one destination gather in a per-destination
+// buffer and leave as one datagram when the buffer fills or a short
+// flush window (Config.FlushEvery) expires, so a burst of small
+// protocol packets does not become a burst of system calls. Receives
+// feed a bounded inbox queue; overflow, oversize, and undecodable
+// traffic is dropped and counted, both in transport.Stats and — when a
+// registry is wired — in obs metrics.
+package udp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// Metric names surfaced through Config.Metrics.
+const (
+	MetricDatagramsSent = "udp.datagrams_sent_total"
+	MetricDatagramsRecv = "udp.datagrams_recv_total"
+	MetricBytesSent     = "udp.bytes_sent_total"
+	MetricDropOversize  = "udp.drop_oversize_total"
+	MetricDropOverflow  = "udp.drop_overflow_total"
+	MetricDropDecode    = "udp.drop_decode_total"
+)
+
+// Config parametrizes a Transport.
+type Config struct {
+	// BindIP is the address endpoint sockets bind on. Default 127.0.0.1
+	// (loopback); use a LAN interface address for multi-host runs.
+	BindIP string
+	// RecvQueue bounds each endpoint's inbox in messages; receives
+	// beyond it are dropped (DroppedOverflow). Default 4096.
+	RecvQueue int
+	// FlushEvery is the write-coalescing window: a frame waits at most
+	// this long for companions into the same datagram. Default 200µs.
+	FlushEvery time.Duration
+	// Metrics, when non-nil, receives datagram and drop counters.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.BindIP == "" {
+		c.BindIP = "127.0.0.1"
+	}
+	if c.RecvQueue <= 0 {
+		c.RecvQueue = 4096
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 200 * time.Microsecond
+	}
+	return c
+}
+
+// ErrClosed is returned for operations on a closed transport.
+var ErrClosed = errors.New("udp: transport closed")
+
+// Transport is a UDP-socket implementation of transport.Transport.
+// Create with New, stop with Close.
+type Transport struct {
+	cfg Config
+
+	mu        sync.Mutex
+	endpoints map[ids.PID]*Endpoint
+	// peers is the directory of every known process address — local
+	// endpoints plus AddPeer seeds — and the broadcast target set.
+	peers map[ids.PID]*net.UDPAddr
+	// component maps a site to its emulated partition component (absent
+	// means component 0), mirroring simnet's oracle.
+	component map[string]int
+	stats     transport.Stats
+	closed    bool
+
+	mDgramsSent, mDgramsRecv, mBytes     *obs.Counter
+	mOversize, mOverflow, mDecodeDropped *obs.Counter
+}
+
+// Compile-time checks: same contract surface as the simulator.
+var (
+	_ transport.Transport   = (*Transport)(nil)
+	_ transport.Partitioner = (*Transport)(nil)
+)
+
+// New creates a transport. Endpoints are bound lazily by Attach.
+func New(cfg Config) *Transport {
+	cfg = cfg.withDefaults()
+	t := &Transport{
+		cfg:       cfg,
+		endpoints: make(map[ids.PID]*Endpoint),
+		peers:     make(map[ids.PID]*net.UDPAddr),
+		component: make(map[string]int),
+		stats:     transport.NewStats(),
+	}
+	if m := cfg.Metrics; m != nil {
+		t.mDgramsSent = m.Counter(MetricDatagramsSent)
+		t.mDgramsRecv = m.Counter(MetricDatagramsRecv)
+		t.mBytes = m.Counter(MetricBytesSent)
+		t.mOversize = m.Counter(MetricDropOversize)
+		t.mOverflow = m.Counter(MetricDropOverflow)
+		t.mDecodeDropped = m.Counter(MetricDropDecode)
+	}
+	return t
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func add(c *obs.Counter, n uint64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// Attach binds a UDP socket for pid and registers it in the peer
+// directory.
+func (t *Transport) Attach(pid ids.PID) (transport.Endpoint, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(t.cfg.BindIP)})
+	if err != nil {
+		return nil, fmt.Errorf("udp: bind %s for %v: %w", t.cfg.BindIP, pid, err)
+	}
+	// Burst tolerance: a multicast storm writes datagrams faster than
+	// the read loop can drain them, and data packets the kernel drops
+	// are gone for good (the protocol retransmits only at flush time).
+	// Errors are ignored — the OS clamps to its limits and the default
+	// then bounds burst size instead.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	ep := &Endpoint{
+		pid:   pid,
+		tr:    t,
+		conn:  conn,
+		inbox: eventq.New[transport.Message](),
+		bufs:  make(map[ids.PID]*sendBuf),
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if _, dup := t.endpoints[pid]; dup {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("udp: pid %v already attached", pid)
+	}
+	t.endpoints[pid] = ep
+	t.peers[pid] = conn.LocalAddr().(*net.UDPAddr)
+	t.mu.Unlock()
+	go ep.readLoop()
+	return ep, nil
+}
+
+// AddPeer seeds a remote process into the directory (multi-host runs;
+// local endpoints register themselves on Attach). addr is "ip:port".
+func (t *Transport) AddPeer(pid ids.PID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udp: peer %v addr %q: %w", pid, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	t.peers[pid] = ua
+	return nil
+}
+
+// Addr returns the bound address of a locally attached pid ("" if not
+// attached); tests and multi-host bootstrap use it to seed AddPeer on
+// other hosts.
+func (t *Transport) Addr(pid ids.PID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ep, ok := t.endpoints[pid]; ok {
+		return ep.conn.LocalAddr().String()
+	}
+	return ""
+}
+
+// Close stops the transport and closes all endpoints.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	eps := make([]*Endpoint, 0, len(t.endpoints))
+	for _, ep := range t.endpoints {
+		eps = append(eps, ep)
+	}
+	t.endpoints = make(map[ids.PID]*Endpoint)
+	t.peers = make(map[ids.PID]*net.UDPAddr)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.shutdown()
+	}
+}
+
+// Stats returns a consistent point-in-time snapshot of the transport
+// counters (see transport.Stats for the semantics contract).
+func (t *Transport) Stats() transport.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.Clone()
+}
+
+// ResetStats zeroes every counter atomically with respect to Stats.
+func (t *Transport) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = transport.NewStats()
+}
+
+// SetPartitions emulates network partitions: traffic between sites in
+// different components is discarded at send and at receive time, like a
+// firewall between subnets. Semantics mirror simnet.Fabric.
+func (t *Transport) SetPartitions(components ...[]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.component = make(map[string]int)
+	for i, comp := range components {
+		for _, site := range comp {
+			t.component[site] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (t *Transport) Heal() { t.SetPartitions() }
+
+// Reachable reports whether sites a and b are currently in the same
+// emulated partition component.
+func (t *Transport) Reachable(a, b string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.component[a] == t.component[b]
+}
+
+// sendBuf accumulates encoded frames toward one destination until the
+// datagram budget fills or the flush window expires.
+type sendBuf struct {
+	addr  *net.UDPAddr
+	buf   []byte
+	timer *time.Timer
+}
+
+// Endpoint is one process's attachment: its own UDP socket plus the
+// coalescing write path and the bounded receive queue.
+type Endpoint struct {
+	pid   ids.PID
+	tr    *Transport
+	conn  *net.UDPConn
+	inbox *eventq.Queue[transport.Message]
+
+	mu     sync.Mutex
+	bufs   map[ids.PID]*sendBuf
+	closed bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// PID returns the endpoint's process id.
+func (e *Endpoint) PID() ids.PID { return e.pid }
+
+// Send unicasts payload to `to`. Unknown or unreachable destinations
+// are silent counted drops — the asynchronous-network contract.
+func (e *Endpoint) Send(to ids.PID, payload any) {
+	t := e.tr
+	kind, size := transport.Describe(payload)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	addr := t.sendCheckLocked(e.pid, to, kind, size)
+	t.mu.Unlock()
+	if addr != nil {
+		e.enqueueFrame(to, addr, payload, kind)
+	}
+}
+
+// Broadcast sends payload to every process in the peer directory except
+// the sender itself.
+func (e *Endpoint) Broadcast(payload any) {
+	t := e.tr
+	kind, size := transport.Describe(payload)
+	type target struct {
+		pid  ids.PID
+		addr *net.UDPAddr
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	// The whole fan-out is accounted under one critical section so a
+	// Stats snapshot never observes half of it.
+	targets := make([]target, 0, len(t.peers))
+	for pid := range t.peers {
+		if pid == e.pid {
+			continue
+		}
+		if addr := t.sendCheckLocked(e.pid, pid, kind, size); addr != nil {
+			targets = append(targets, target{pid: pid, addr: addr})
+		}
+	}
+	t.mu.Unlock()
+	for _, tg := range targets {
+		e.enqueueFrame(tg.pid, tg.addr, payload, kind)
+	}
+}
+
+// sendCheckLocked applies the send-side counters and drop checks for
+// one message and resolves the destination address; nil means the
+// message was counted as dropped. t.mu must be held.
+func (t *Transport) sendCheckLocked(from, to ids.PID, kind string, size int) *net.UDPAddr {
+	t.stats.Sent++
+	t.stats.BytesSent += uint64(size)
+	t.stats.PerKind[kind]++
+	t.stats.PerKindBytes[kind] += uint64(size)
+	if t.component[from.Site] != t.component[to.Site] {
+		t.stats.DroppedPartition++
+		return nil
+	}
+	addr, ok := t.peers[to]
+	if !ok {
+		t.stats.DroppedDead++
+		return nil
+	}
+	return addr
+}
+
+// enqueueFrame encodes payload and appends it to the destination's
+// coalescing buffer, flushing when the datagram budget fills.
+func (e *Endpoint) enqueueFrame(to ids.PID, addr *net.UDPAddr, payload any, kind string) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	sb := e.bufs[to]
+	if sb == nil {
+		sb = &sendBuf{}
+		e.bufs[to] = sb
+	}
+	sb.addr = addr // latest directory entry wins
+	was := len(sb.buf)
+	buf, err := wire.AppendFrame(sb.buf, e.pid, to, payload)
+	if err != nil {
+		// Oversize — or an unencodable payload that can never leave this
+		// host, which lands in the same bucket.
+		e.mu.Unlock()
+		e.tr.mu.Lock()
+		e.tr.stats.DroppedOversize++
+		e.tr.mu.Unlock()
+		inc(e.tr.mOversize)
+		return
+	}
+	if was > 0 && len(buf) > wire.MaxFrame {
+		// Appending would overflow the datagram: flush what was queued,
+		// restart the buffer with the new frame alone.
+		e.flushLocked(sb, sb.buf[:was])
+		sb.buf = append(sb.buf[:0], buf[was:]...)
+	} else {
+		sb.buf = buf
+	}
+	if len(sb.buf) >= wire.MaxFrame {
+		e.flushLocked(sb, sb.buf)
+		sb.buf = sb.buf[:0]
+	} else if sb.timer == nil && len(sb.buf) > 0 {
+		sb.timer = time.AfterFunc(e.tr.cfg.FlushEvery, func() { e.flushDest(to) })
+	}
+	e.mu.Unlock()
+}
+
+// flushLocked writes one datagram; e.mu must be held. UDP writes do not
+// block meaningfully and errors are deliberately ignored: an ICMP
+// rejection from a dead peer is exactly a dropped message.
+func (e *Endpoint) flushLocked(sb *sendBuf, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if sb.timer != nil {
+		sb.timer.Stop()
+		sb.timer = nil
+	}
+	e.conn.WriteToUDP(data, sb.addr)
+	inc(e.tr.mDgramsSent)
+	add(e.tr.mBytes, uint64(len(data)))
+}
+
+// flushDest is the coalescing-timer callback for one destination.
+func (e *Endpoint) flushDest(to ids.PID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	if sb := e.bufs[to]; sb != nil {
+		sb.timer = nil
+		e.flushLocked(sb, sb.buf)
+		sb.buf = sb.buf[:0]
+	}
+}
+
+// readLoop splits datagrams into frames, decodes them, and feeds the
+// bounded inbox. It exits when the socket closes.
+func (e *Endpoint) readLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed by Detach/Close
+		}
+		inc(e.tr.mDgramsRecv)
+		data := buf[:n]
+		for len(data) > 0 {
+			from, to, payload, rest, err := wire.ReadFrame(data)
+			data = rest
+			if err != nil {
+				e.tr.mu.Lock()
+				e.tr.stats.DroppedDecode++
+				e.tr.mu.Unlock()
+				inc(e.tr.mDecodeDropped)
+				break // remaining bytes are unframeable
+			}
+			e.deliver(from, to, payload)
+		}
+	}
+}
+
+// deliver applies the receive-side checks and pushes one decoded
+// message.
+func (e *Endpoint) deliver(from, to ids.PID, payload any) {
+	t := e.tr
+	kind, size := transport.Describe(payload)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if t.component[from.Site] != t.component[e.pid.Site] {
+		// Partition emulation, receive side: cuts off datagrams already
+		// in flight when the partition formed.
+		t.stats.DroppedPartition++
+		t.mu.Unlock()
+		return
+	}
+	if to != e.pid {
+		// A stale sender is addressing a previous incarnation that owned
+		// this port.
+		t.stats.DroppedDead++
+		t.mu.Unlock()
+		return
+	}
+	if e.inbox.Len() >= t.cfg.RecvQueue {
+		t.stats.DroppedOverflow++
+		t.mu.Unlock()
+		inc(t.mOverflow)
+		return
+	}
+	t.stats.Delivered++
+	t.stats.PerKindDelivered[kind]++
+	t.mu.Unlock()
+	e.inbox.Push(transport.Message{From: from, To: to, Payload: payload, Kind: kind, Size: size})
+}
+
+// Recv blocks for the next message. ok is false once the endpoint is
+// detached or the transport closed, and the inbox has drained.
+func (e *Endpoint) Recv() (transport.Message, bool) { return e.inbox.Pop() }
+
+// TryRecv returns the next message without blocking.
+func (e *Endpoint) TryRecv() (transport.Message, bool) { return e.inbox.TryPop() }
+
+// Wait returns a channel signaled when the inbox may be non-empty; use
+// with TryRecv in select loops.
+func (e *Endpoint) Wait() <-chan struct{} { return e.inbox.Wait() }
+
+// Closed reports whether the endpoint has been detached.
+func (e *Endpoint) Closed() bool { return e.inbox.Closed() }
+
+// Detach removes this endpoint, modeling a crash: the socket closes,
+// unflushed coalescing buffers are discarded, and the inbox closes.
+func (e *Endpoint) Detach() {
+	t := e.tr
+	t.mu.Lock()
+	if t.endpoints[e.pid] == e {
+		delete(t.endpoints, e.pid)
+		delete(t.peers, e.pid)
+	}
+	t.mu.Unlock()
+	e.shutdown()
+}
+
+// shutdown closes the socket and inbox and discards pending buffers.
+func (e *Endpoint) shutdown() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, sb := range e.bufs {
+		if sb.timer != nil {
+			sb.timer.Stop()
+		}
+	}
+	e.bufs = make(map[ids.PID]*sendBuf)
+	e.mu.Unlock()
+	e.conn.Close()
+	e.inbox.Close()
+}

@@ -1,0 +1,273 @@
+package udp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+var (
+	pa = ids.PID{Site: "a", Inc: 1}
+	pb = ids.PID{Site: "b", Inc: 1}
+	pc = ids.PID{Site: "c", Inc: 1}
+)
+
+func newTransport(t *testing.T, cfg Config) *Transport {
+	t.Helper()
+	tr := New(cfg)
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+func attach(t *testing.T, tr *Transport, pid ids.PID) transport.Endpoint {
+	t.Helper()
+	ep, err := tr.Attach(pid)
+	if err != nil {
+		t.Fatalf("Attach(%v): %v", pid, err)
+	}
+	return ep
+}
+
+func recvWithin(t *testing.T, ep transport.Endpoint, d time.Duration) (transport.Message, bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if m, ok := ep.TryRecv(); ok {
+			return m, true
+		}
+		if time.Now().After(deadline) {
+			return transport.Message{}, false
+		}
+		select {
+		case <-ep.Wait():
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func hb(from ids.PID) wire.Heartbeat {
+	return wire.Heartbeat{Group: "g", From: from, View: ids.ViewID{Epoch: 1, Coord: from}}
+}
+
+func data(from ids.PID, seq uint64, payload []byte) wire.Data {
+	return wire.Data{
+		Group: "g", ID: ids.MsgID{Sender: from, Seq: seq},
+		View: ids.ViewID{Epoch: 1, Coord: from}, Payload: payload,
+	}
+}
+
+func eventually(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUnicastRoundTrip(t *testing.T) {
+	tr := newTransport(t, Config{})
+	a := attach(t, tr, pa)
+	b := attach(t, tr, pb)
+
+	want := data(pa, 7, []byte("over the wire"))
+	a.Send(pb, want)
+	m, ok := recvWithin(t, b, 2*time.Second)
+	if !ok {
+		t.Fatal("datagram not delivered")
+	}
+	if m.From != pa || m.To != pb || m.Kind != "data" {
+		t.Fatalf("envelope = %+v", m)
+	}
+	got, ok := m.Payload.(wire.Data)
+	if !ok || got.ID != want.ID || string(got.Payload) != string(want.Payload) {
+		t.Fatalf("payload = %#v", m.Payload)
+	}
+	s := tr.Stats()
+	if s.Sent != 1 || s.Delivered != 1 || s.PerKind["data"] != 1 || s.PerKindDelivered["data"] != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	tr := newTransport(t, Config{})
+	a := attach(t, tr, pa)
+	b := attach(t, tr, pb)
+	c := attach(t, tr, pc)
+
+	a.Broadcast(hb(pa))
+	for _, ep := range []transport.Endpoint{b, c} {
+		m, ok := recvWithin(t, ep, 2*time.Second)
+		if !ok {
+			t.Fatalf("%v: broadcast not delivered", ep.PID())
+		}
+		if m.Kind != "hb" || m.From != pa {
+			t.Fatalf("%v: got %+v", ep.PID(), m)
+		}
+	}
+	if _, ok := a.TryRecv(); ok {
+		t.Fatal("sender received its own broadcast")
+	}
+	if s := tr.Stats(); s.Sent != 2 {
+		t.Fatalf("Sent = %d, want 2 (fan-out of 2)", s.Sent)
+	}
+}
+
+func TestOversizeDropped(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newTransport(t, Config{Metrics: reg})
+	a := attach(t, tr, pa)
+	b := attach(t, tr, pb)
+
+	a.Send(pb, data(pa, 1, make([]byte, wire.MaxFrame+1)))
+	eventually(t, 2*time.Second, "oversize drop", func() bool {
+		return tr.Stats().DroppedOversize == 1
+	})
+	if got := reg.Counter(MetricDropOversize).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricDropOversize, got)
+	}
+	// The fat packet must not arrive; a normal one after it must.
+	a.Send(pb, data(pa, 2, []byte("small")))
+	m, ok := recvWithin(t, b, 2*time.Second)
+	if !ok {
+		t.Fatal("follow-up packet not delivered")
+	}
+	if d := m.Payload.(wire.Data); d.ID.Seq != 2 {
+		t.Fatalf("delivered seq %d, want 2", d.ID.Seq)
+	}
+}
+
+func TestOverflowDropped(t *testing.T) {
+	tr := newTransport(t, Config{RecvQueue: 2})
+	a := attach(t, tr, pa)
+	attach(t, tr, pb)
+
+	const sends = 20
+	for i := 0; i < sends; i++ {
+		a.Send(pb, data(pa, uint64(i), []byte("x")))
+	}
+	// Nobody drains pb's inbox: once it holds RecvQueue messages the
+	// rest must be dropped as overflow, not queued unboundedly.
+	eventually(t, 5*time.Second, "overflow accounting", func() bool {
+		s := tr.Stats()
+		return s.Delivered+s.DroppedOverflow == sends
+	})
+	s := tr.Stats()
+	if s.Delivered != 2 {
+		t.Fatalf("Delivered = %d, want 2 (the queue bound)", s.Delivered)
+	}
+	if s.DroppedOverflow != sends-2 {
+		t.Fatalf("DroppedOverflow = %d, want %d", s.DroppedOverflow, sends-2)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	tr := newTransport(t, Config{})
+	a := attach(t, tr, pa)
+	b := attach(t, tr, pb)
+
+	tr.SetPartitions([]string{"a"}, []string{"b"})
+	if tr.Reachable("a", "b") {
+		t.Fatal("partitioned sites reported reachable")
+	}
+	a.Send(pb, data(pa, 1, []byte("blocked")))
+	eventually(t, 2*time.Second, "partition drop", func() bool {
+		return tr.Stats().DroppedPartition >= 1
+	})
+	if _, ok := recvWithin(t, b, 50*time.Millisecond); ok {
+		t.Fatal("message crossed the partition")
+	}
+
+	tr.Heal()
+	if !tr.Reachable("a", "b") {
+		t.Fatal("healed sites reported unreachable")
+	}
+	a.Send(pb, data(pa, 2, []byte("open")))
+	if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+		t.Fatal("message not delivered after heal")
+	}
+}
+
+func TestDeadDestinationDropped(t *testing.T) {
+	tr := newTransport(t, Config{})
+	a := attach(t, tr, pa)
+
+	a.Send(ids.PID{Site: "z", Inc: 1}, hb(pa))
+	if s := tr.Stats(); s.DroppedDead != 1 || s.Sent != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAddrAndAddPeer(t *testing.T) {
+	tr := newTransport(t, Config{})
+	attach(t, tr, pa)
+	if tr.Addr(pa) == "" {
+		t.Fatal("Addr empty for attached endpoint")
+	}
+	if tr.Addr(pb) != "" {
+		t.Fatal("Addr non-empty for unknown pid")
+	}
+	if err := tr.AddPeer(pb, "127.0.0.1:9"); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+	// Addr reports locally attached endpoints only, but the registered
+	// peer is now routable: a send to it is not a dead-destination drop.
+	if tr.Addr(pb) != "" {
+		t.Fatalf("Addr(pb) = %q, want \"\" (pb is remote)", tr.Addr(pb))
+	}
+	a := attach(t, tr, pc)
+	a.Send(pb, hb(pc))
+	if s := tr.Stats(); s.DroppedDead != 0 || s.Sent != 1 {
+		t.Fatalf("send to registered peer: stats = %+v", s)
+	}
+	if err := tr.AddPeer(pc, "not an address"); err == nil {
+		t.Fatal("AddPeer accepted a bad address")
+	}
+}
+
+func TestCoalescingPacksFramesIntoDatagrams(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newTransport(t, Config{Metrics: reg, FlushEvery: 2 * time.Millisecond})
+	a := attach(t, tr, pa)
+	b := attach(t, tr, pb)
+
+	const sends = 50
+	for i := 0; i < sends; i++ {
+		a.Send(pb, data(pa, uint64(i), []byte("tiny")))
+	}
+	for i := 0; i < sends; i++ {
+		if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+			t.Fatalf("message %d not delivered", i)
+		}
+	}
+	// Back-to-back tiny sends within the flush window must share
+	// datagrams — strictly fewer datagrams than messages.
+	if dg := reg.Counter(MetricDatagramsSent).Value(); dg >= sends {
+		t.Fatalf("datagrams sent = %d for %d messages; coalescing did nothing", dg, sends)
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	tr := newTransport(t, Config{})
+	a := attach(t, tr, pa)
+	b := attach(t, tr, pb)
+
+	b.Detach()
+	if !b.Closed() {
+		t.Fatal("detached endpoint not closed")
+	}
+	a.Send(pb, hb(pa))
+	eventually(t, 2*time.Second, "drop to detached peer", func() bool {
+		s := tr.Stats()
+		return s.DroppedDead+s.DroppedOverflow >= 1 || s.Sent == 1 && s.Delivered == 0
+	})
+	if s := tr.Stats(); s.Delivered != 0 {
+		t.Fatalf("delivered to a detached endpoint: %+v", s)
+	}
+}

@@ -1,0 +1,620 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/evs"
+	"repro/internal/ids"
+)
+
+// Codec format
+//
+// Every encoded payload is
+//
+//	[version:1][kind:1][body]
+//
+// with all integers as unsigned varints, strings and byte slices
+// length-prefixed, and every map or set written in sorted identifier
+// order so that encoding is deterministic: the same packet value always
+// produces the same bytes, which keeps byte counters and tests stable.
+//
+// The frame envelope used by socket backends is
+//
+//	[frameLen:uvarint][from:PID][to:PID][payload]
+//
+// so multiple frames can be packed into one datagram (write coalescing)
+// and split again on receive. A frame must fit one datagram: AppendFrame
+// rejects frames larger than MaxFrame with ErrOversize.
+
+// Version is the codec version byte; decoders reject others.
+const Version = 1
+
+// MaxFrame is the largest frame AppendFrame will emit. It leaves
+// headroom below the 65507-byte UDP payload ceiling so a frame always
+// fits a single datagram.
+const MaxFrame = 60 * 1024
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated frame")
+	ErrOversize    = errors.New("wire: frame exceeds MaxFrame")
+	ErrUnknownKind = errors.New("wire: unknown packet kind")
+	ErrBadVersion  = errors.New("wire: unsupported codec version")
+)
+
+// Kind bytes, one per packet type.
+const (
+	kindHeartbeat byte = 1 + iota
+	kindData
+	kindEChange
+	kindMergeReq
+	kindPropose
+	kindAck
+	kindInstall
+)
+
+// Encode serializes a protocol packet. The payload must be one of the
+// packet types of this package (value, not pointer); anything else is
+// ErrUnknownKind.
+func Encode(payload any) ([]byte, error) {
+	return Append(nil, payload)
+}
+
+// Append serializes payload onto dst and returns the extended slice.
+func Append(dst []byte, payload any) ([]byte, error) {
+	dst = append(dst, Version)
+	switch p := payload.(type) {
+	case Heartbeat:
+		dst = append(dst, kindHeartbeat)
+		dst = putString(dst, p.Group)
+		dst = putPID(dst, p.From)
+		dst = putView(dst, p.View)
+		dst = binary.AppendUvarint(dst, p.MaxEpoch)
+		dst = putVector(dst, p.VC)
+		dst = putBool(dst, p.Left)
+	case Data:
+		dst = append(dst, kindData)
+		dst = putData(dst, p)
+	case EChange:
+		dst = append(dst, kindEChange)
+		dst = putString(dst, p.Group)
+		dst = putMsgID(dst, p.ID)
+		dst = putView(dst, p.View)
+		dst = putVector(dst, p.Stamp)
+		dst = binary.AppendUvarint(dst, uint64(p.Seq))
+		dst = binary.AppendUvarint(dst, uint64(p.Kind))
+		dst = putSubviews(dst, p.Subviews)
+		dst = putSVSets(dst, p.SVSets)
+	case MergeReq:
+		dst = append(dst, kindMergeReq)
+		dst = putString(dst, p.Group)
+		dst = putPID(dst, p.From)
+		dst = putView(dst, p.View)
+		dst = binary.AppendUvarint(dst, uint64(p.Kind))
+		dst = putSubviews(dst, p.Subviews)
+		dst = putSVSets(dst, p.SVSets)
+	case Propose:
+		dst = append(dst, kindPropose)
+		dst = putString(dst, p.Group)
+		dst = putView(dst, p.Proposal)
+		dst = putPIDs(dst, p.Comp)
+	case Ack:
+		dst = append(dst, kindAck)
+		dst = putString(dst, p.Group)
+		dst = putView(dst, p.Proposal)
+		dst = putPID(dst, p.From)
+		dst = putView(dst, p.PredView)
+		dst = putDelivered(dst, p.Delivered)
+		dst = binary.AppendUvarint(dst, uint64(p.EChangeSeq))
+		dst = putStructure(dst, p.Structure)
+	case Install:
+		dst = append(dst, kindInstall)
+		dst = putString(dst, p.Group)
+		dst = putView(dst, p.Proposal)
+		dst = putPIDs(dst, p.Comp)
+		dst = putFlush(dst, p.Flush)
+		dst = putStructure(dst, p.Structure)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, payload)
+	}
+	return dst, nil
+}
+
+// Decode parses one encoded payload, returning the concrete packet
+// value (Heartbeat, Data, ...).
+func Decode(b []byte) (any, error) {
+	r := &reader{b: b}
+	if v := r.byte_(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	kind := r.byte_()
+	if r.err != nil {
+		return nil, r.err
+	}
+	var out any
+	switch kind {
+	case kindHeartbeat:
+		p := Heartbeat{}
+		p.Group = r.str()
+		p.From = r.pid()
+		p.View = r.view()
+		p.MaxEpoch = r.uvarint()
+		p.VC = r.vector()
+		p.Left = r.bool_()
+		out = p
+	case kindData:
+		out = r.data()
+	case kindEChange:
+		p := EChange{}
+		p.Group = r.str()
+		p.ID = r.msgID()
+		p.View = r.view()
+		p.Stamp = r.vector()
+		p.Seq = uint32(r.uvarint())
+		p.Kind = EChangeKind(r.uvarint())
+		p.Subviews = r.subviews()
+		p.SVSets = r.svsets()
+		out = p
+	case kindMergeReq:
+		p := MergeReq{}
+		p.Group = r.str()
+		p.From = r.pid()
+		p.View = r.view()
+		p.Kind = EChangeKind(r.uvarint())
+		p.Subviews = r.subviews()
+		p.SVSets = r.svsets()
+		out = p
+	case kindPropose:
+		p := Propose{}
+		p.Group = r.str()
+		p.Proposal = r.view()
+		p.Comp = r.pids()
+		out = p
+	case kindAck:
+		p := Ack{}
+		p.Group = r.str()
+		p.Proposal = r.view()
+		p.From = r.pid()
+		p.PredView = r.view()
+		p.Delivered = r.delivered()
+		p.EChangeSeq = uint32(r.uvarint())
+		p.Structure = r.structure()
+		out = p
+	case kindInstall:
+		p := Install{}
+		p.Group = r.str()
+		p.Proposal = r.view()
+		p.Comp = r.pids()
+		p.Flush = r.flush()
+		p.Structure = r.structure()
+		out = p
+	default:
+		return nil, fmt.Errorf("%w: byte %d", ErrUnknownKind, kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %T", len(r.b), out)
+	}
+	return out, nil
+}
+
+// AppendFrame encodes payload with a [len][from][to] envelope onto dst.
+// The frame (envelope included) must not exceed MaxFrame.
+func AppendFrame(dst []byte, from, to ids.PID, payload any) ([]byte, error) {
+	var body []byte
+	body = putPID(body, from)
+	body = putPID(body, to)
+	body, err := Append(body, payload)
+	if err != nil {
+		return dst, err
+	}
+	if len(body)+binary.MaxVarintLen32 > MaxFrame {
+		return dst, fmt.Errorf("%w: %d byte body", ErrOversize, len(body))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...), nil
+}
+
+// ReadFrame parses the first frame of data, returning the decoded
+// payload and the remaining bytes (further frames of the same
+// datagram).
+func ReadFrame(data []byte) (from, to ids.PID, payload any, rest []byte, err error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || n > uint64(len(data)-used) {
+		return from, to, nil, nil, ErrTruncated
+	}
+	body, rest := data[used:used+int(n)], data[used+int(n):]
+	r := &reader{b: body}
+	from = r.pid()
+	to = r.pid()
+	if r.err != nil {
+		return from, to, nil, rest, r.err
+	}
+	payload, err = Decode(r.b)
+	return from, to, payload, rest, err
+}
+
+// --- encoding primitives ---
+
+func putBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func putPID(dst []byte, p ids.PID) []byte {
+	dst = putString(dst, p.Site)
+	return binary.AppendUvarint(dst, uint64(p.Inc))
+}
+
+func putView(dst []byte, v ids.ViewID) []byte {
+	dst = binary.AppendUvarint(dst, v.Epoch)
+	return putPID(dst, v.Coord)
+}
+
+func putMsgID(dst []byte, m ids.MsgID) []byte {
+	dst = putPID(dst, m.Sender)
+	return binary.AppendUvarint(dst, m.Seq)
+}
+
+func putVector(dst []byte, vc clock.Vector) []byte {
+	pids := make([]ids.PID, 0, len(vc))
+	for p := range vc {
+		pids = append(pids, p)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i].Less(pids[j]) })
+	dst = binary.AppendUvarint(dst, uint64(len(pids)))
+	for _, p := range pids {
+		dst = putPID(dst, p)
+		dst = binary.AppendUvarint(dst, vc[p])
+	}
+	return dst
+}
+
+func putPIDs(dst []byte, ps []ids.PID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
+		dst = putPID(dst, p)
+	}
+	return dst
+}
+
+func putSubviews(dst []byte, svs []ids.SubviewID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(svs)))
+	for _, sv := range svs {
+		dst = putView(dst, sv.Origin)
+		dst = binary.AppendUvarint(dst, uint64(sv.Seq))
+	}
+	return dst
+}
+
+func putSVSets(dst []byte, sss []ids.SVSetID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(sss)))
+	for _, ss := range sss {
+		dst = putView(dst, ss.Origin)
+		dst = binary.AppendUvarint(dst, uint64(ss.Seq))
+	}
+	return dst
+}
+
+func putData(dst []byte, p Data) []byte {
+	dst = putString(dst, p.Group)
+	dst = putMsgID(dst, p.ID)
+	dst = putView(dst, p.View)
+	dst = putVector(dst, p.Stamp)
+	dst = putBytes(dst, p.Payload)
+	return putBool(dst, p.Unicast)
+}
+
+func putDelivered(dst []byte, m map[ids.MsgID]Data) []byte {
+	keys := make([]ids.MsgID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Sender != keys[j].Sender {
+			return keys[i].Sender.Less(keys[j].Sender)
+		}
+		return keys[i].Seq < keys[j].Seq
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = putMsgID(dst, k)
+		dst = putData(dst, m[k])
+	}
+	return dst
+}
+
+func putFlush(dst []byte, m map[ids.ViewID][]Data) []byte {
+	keys := make([]ids.ViewID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = putView(dst, k)
+		dst = binary.AppendUvarint(dst, uint64(len(m[k])))
+		for _, d := range m[k] {
+			dst = putData(dst, d)
+		}
+	}
+	return dst
+}
+
+func putStructure(dst []byte, s evs.Structure) []byte {
+	rows, nextSv, nextSs := s.Export()
+	// A zero structure (pre-bootstrap acks) round-trips to zero, not to
+	// an allocated-but-empty one.
+	if s.View.IsZero() && len(rows) == 0 && nextSv == 0 && nextSs == 0 {
+		return putBool(dst, false)
+	}
+	dst = putBool(dst, true)
+	dst = putView(dst, s.View)
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, row := range rows {
+		dst = putView(dst, row.Subview.Origin)
+		dst = binary.AppendUvarint(dst, uint64(row.Subview.Seq))
+		dst = putView(dst, row.SVSet.Origin)
+		dst = binary.AppendUvarint(dst, uint64(row.SVSet.Seq))
+		dst = putPIDs(dst, row.Members)
+	}
+	dst = binary.AppendUvarint(dst, uint64(nextSv))
+	return binary.AppendUvarint(dst, uint64(nextSs))
+}
+
+// --- decoding primitives ---
+
+// reader is a bounds-checked cursor over an encoded body. The first
+// underflow or malformed prefix latches err (always wrapping
+// ErrTruncated or a validation error) and every later read returns a
+// zero value, so packet decoders can read field-by-field and check err
+// once at the end.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) byte_() byte {
+	if r.err != nil || len(r.b) == 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) bool_() bool { return r.byte_() != 0 }
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// count reads a collection length and sanity-checks it against the
+// bytes actually remaining (each element costs at least min bytes), so
+// a corrupt length prefix cannot trigger a huge allocation.
+func (r *reader) count(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(r.b)/min) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	return string(r.take(n))
+}
+
+func (r *reader) bytes_() []byte {
+	n := r.count(1)
+	b := r.take(n)
+	if len(b) == 0 {
+		return nil
+	}
+	// Copy out of the frame buffer: payloads outlive the datagram.
+	return append([]byte(nil), b...)
+}
+
+func (r *reader) pid() ids.PID {
+	var p ids.PID
+	p.Site = r.str()
+	p.Inc = uint32(r.uvarint())
+	return p
+}
+
+func (r *reader) view() ids.ViewID {
+	var v ids.ViewID
+	v.Epoch = r.uvarint()
+	v.Coord = r.pid()
+	return v
+}
+
+func (r *reader) msgID() ids.MsgID {
+	var m ids.MsgID
+	m.Sender = r.pid()
+	m.Seq = r.uvarint()
+	return m
+}
+
+func (r *reader) vector() clock.Vector {
+	n := r.count(2)
+	if n == 0 {
+		return nil
+	}
+	vc := make(clock.Vector, n)
+	for i := 0; i < n; i++ {
+		p := r.pid()
+		vc[p] = r.uvarint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vc
+}
+
+func (r *reader) pids() []ids.PID {
+	n := r.count(2)
+	if n == 0 {
+		return nil
+	}
+	ps := make([]ids.PID, n)
+	for i := range ps {
+		ps[i] = r.pid()
+	}
+	return ps
+}
+
+func (r *reader) subviews() []ids.SubviewID {
+	n := r.count(3)
+	if n == 0 {
+		return nil
+	}
+	svs := make([]ids.SubviewID, n)
+	for i := range svs {
+		svs[i].Origin = r.view()
+		svs[i].Seq = uint32(r.uvarint())
+	}
+	return svs
+}
+
+func (r *reader) svsets() []ids.SVSetID {
+	n := r.count(3)
+	if n == 0 {
+		return nil
+	}
+	sss := make([]ids.SVSetID, n)
+	for i := range sss {
+		sss[i].Origin = r.view()
+		sss[i].Seq = uint32(r.uvarint())
+	}
+	return sss
+}
+
+func (r *reader) data() Data {
+	var p Data
+	p.Group = r.str()
+	p.ID = r.msgID()
+	p.View = r.view()
+	p.Stamp = r.vector()
+	p.Payload = r.bytes_()
+	p.Unicast = r.bool_()
+	return p
+}
+
+func (r *reader) delivered() map[ids.MsgID]Data {
+	n := r.count(4)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[ids.MsgID]Data, n)
+	for i := 0; i < n; i++ {
+		k := r.msgID()
+		m[k] = r.data()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+func (r *reader) flush() map[ids.ViewID][]Data {
+	n := r.count(4)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[ids.ViewID][]Data, n)
+	for i := 0; i < n; i++ {
+		k := r.view()
+		cnt := r.count(4)
+		msgs := make([]Data, cnt)
+		for j := range msgs {
+			msgs[j] = r.data()
+		}
+		if r.err != nil {
+			return nil
+		}
+		m[k] = msgs
+	}
+	return m
+}
+
+func (r *reader) structure() evs.Structure {
+	if !r.bool_() {
+		return evs.Structure{}
+	}
+	view := r.view()
+	n := r.count(6)
+	rows := make([]evs.Row, n)
+	for i := range rows {
+		rows[i].Subview.Origin = r.view()
+		rows[i].Subview.Seq = uint32(r.uvarint())
+		rows[i].SVSet.Origin = r.view()
+		rows[i].SVSet.Seq = uint32(r.uvarint())
+		rows[i].Members = r.pids()
+	}
+	nextSv := uint32(r.uvarint())
+	nextSs := uint32(r.uvarint())
+	if r.err != nil {
+		return evs.Structure{}
+	}
+	s, err := evs.FromRows(view, rows, nextSv, nextSs)
+	if err != nil {
+		r.fail(fmt.Errorf("wire: structure: %w", err))
+		return evs.Structure{}
+	}
+	return s
+}

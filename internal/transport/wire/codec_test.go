@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/evs"
+	"repro/internal/ids"
+)
+
+func pid(site string, inc uint32) ids.PID { return ids.PID{Site: site, Inc: inc} }
+
+func view(epoch uint64, coord ids.PID) ids.ViewID { return ids.ViewID{Epoch: epoch, Coord: coord} }
+
+// testStructure builds a two-subview structure via the same Export/
+// FromRows surface the codec uses.
+func testStructure(t *testing.T) evs.Structure {
+	t.Helper()
+	v := view(3, pid("a", 1))
+	rows := []evs.Row{
+		{
+			Subview: ids.SubviewID{Origin: v, Seq: 1},
+			SVSet:   ids.SVSetID{Origin: v, Seq: 1},
+			Members: []ids.PID{pid("a", 1), pid("b", 2)},
+		},
+		{
+			Subview: ids.SubviewID{Origin: v, Seq: 2},
+			SVSet:   ids.SVSetID{Origin: v, Seq: 2},
+			Members: []ids.PID{pid("c", 1)},
+		},
+	}
+	s, err := evs.FromRows(v, rows, 3, 3)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return s
+}
+
+// testPackets returns one rich instance of every packet kind. The Data
+// payloads are opaque application bytes — e.g. the JSON snapshot/pull
+// bodies of the group-object layer — so their round-trip covers those
+// message kinds too.
+func testPackets(t *testing.T) []any {
+	t.Helper()
+	a, b, c := pid("a", 1), pid("b", 2), pid("c", 1)
+	v := view(3, a)
+	vc := clock.Vector{a: 4, b: 9, c: 1}
+	data1 := Data{
+		Group: "g", ID: ids.MsgID{Sender: b, Seq: 7}, View: v,
+		Stamp:   clock.Vector{a: 1, b: 7},
+		Payload: []byte(`{"k":"snapshot","rows":["x","y"]}`),
+	}
+	data2 := Data{
+		Group: "g", ID: ids.MsgID{Sender: a, Seq: 3}, View: v,
+		Stamp:   clock.Vector{a: 3},
+		Payload: []byte{0, 1, 2, 0xff},
+		Unicast: true,
+	}
+	sv1 := ids.SubviewID{Origin: v, Seq: 1}
+	sv2 := ids.SubviewID{Origin: v, Seq: 2}
+	ss1 := ids.SVSetID{Origin: v, Seq: 1}
+	ss2 := ids.SVSetID{Origin: v, Seq: 2}
+	return []any{
+		Heartbeat{Group: "g", From: a, View: v, MaxEpoch: 17, VC: vc},
+		Heartbeat{Group: "g", From: b, View: v, Left: true},
+		data1,
+		data2,
+		EChange{
+			Group: "g", ID: ids.MsgID{Sender: a, Seq: 11}, View: v,
+			Stamp: vc, Seq: 2, Kind: EChangeSubviewMerge,
+			Subviews: []ids.SubviewID{sv1, sv2},
+		},
+		EChange{
+			Group: "g", ID: ids.MsgID{Sender: a, Seq: 12}, View: v,
+			Stamp: vc, Seq: 3, Kind: EChangeSVSetMerge,
+			SVSets: []ids.SVSetID{ss1, ss2},
+		},
+		MergeReq{Group: "g", From: c, View: v, Kind: EChangeSVSetMerge, SVSets: []ids.SVSetID{ss1, ss2}},
+		Propose{Group: "g", Proposal: view(4, a), Comp: []ids.PID{a, b, c}},
+		Ack{
+			Group: "g", Proposal: view(4, a), From: b, PredView: v,
+			Delivered: map[ids.MsgID]Data{
+				data1.ID: data1,
+				data2.ID: data2,
+			},
+			EChangeSeq: 3,
+			Structure:  testStructure(t),
+		},
+		Ack{Group: "g", Proposal: view(4, a), From: c, PredView: v},
+		Install{
+			Group: "g", Proposal: view(4, a), Comp: []ids.PID{a, b, c},
+			Flush: map[ids.ViewID][]Data{
+				v:          {data1, data2},
+				view(2, b): {data2},
+			},
+			Structure: testStructure(t),
+		},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, pkt := range testPackets(t) {
+		enc, err := Encode(pkt)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", pkt, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", pkt, err)
+		}
+		if !reflect.DeepEqual(normalize(pkt), normalize(dec)) {
+			t.Errorf("%T round-trip mismatch:\n sent %#v\n got  %#v", pkt, pkt, dec)
+		}
+	}
+}
+
+// normalize maps empty collections to nil so that DeepEqual compares
+// content, not allocation accidents (the codec decodes absent
+// collections as nil).
+func normalize(pkt any) any {
+	switch p := pkt.(type) {
+	case Ack:
+		if len(p.Delivered) == 0 {
+			p.Delivered = nil
+		}
+		return p
+	case Install:
+		if len(p.Flush) == 0 {
+			p.Flush = nil
+		}
+		return p
+	default:
+		return pkt
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	// Map-carrying packets must encode identically on repeat — the
+	// codec sorts every map — so byte counters and trace diffs are
+	// stable.
+	for _, pkt := range testPackets(t) {
+		a, err := Encode(pkt)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", pkt, err)
+		}
+		for i := 0; i < 5; i++ {
+			b, err := Encode(pkt)
+			if err != nil {
+				t.Fatalf("Encode(%T): %v", pkt, err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%T: non-deterministic encoding", pkt)
+			}
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	// Every strict prefix of a valid encoding must fail cleanly — no
+	// panic, no silent success.
+	for _, pkt := range testPackets(t) {
+		enc, err := Encode(pkt)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", pkt, err)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := Decode(enc[:cut]); err == nil {
+				t.Fatalf("%T: Decode of %d/%d-byte prefix succeeded", pkt, cut, len(enc))
+			}
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	// Flipping any single byte must never panic; errors are fine, and a
+	// flip in an application payload legitimately still decodes.
+	for _, pkt := range testPackets(t) {
+		enc, _ := Encode(pkt)
+		for i := range enc {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 0x80
+			Decode(mut) // must not panic
+		}
+	}
+}
+
+func TestDecodeBadVersionAndKind(t *testing.T) {
+	if _, err := Decode([]byte{Version + 1, kindData}); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: got %v", err)
+	}
+	if _, err := Decode([]byte{Version, 99}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown kind: got %v", err)
+	}
+	if _, err := Encode(struct{}{}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown payload type: got %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := pid("a", 1), pid("b", 2)
+	pkts := testPackets(t)
+	var buf []byte
+	var err error
+	for _, pkt := range pkts {
+		buf, err = AppendFrame(buf, a, b, pkt)
+		if err != nil {
+			t.Fatalf("AppendFrame(%T): %v", pkt, err)
+		}
+	}
+	rest := buf
+	for i, want := range pkts {
+		var from, to ids.PID
+		var got any
+		from, to, got, rest, err = ReadFrame(rest)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if from != a || to != b {
+			t.Fatalf("ReadFrame #%d: envelope %v->%v", i, from, to)
+		}
+		if !reflect.DeepEqual(normalize(want), normalize(got)) {
+			t.Fatalf("ReadFrame #%d: %T mismatch", i, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after all frames", len(rest))
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	a, b := pid("a", 1), pid("b", 2)
+	big := Data{
+		Group: "g", ID: ids.MsgID{Sender: a, Seq: 1}, View: view(1, a),
+		Payload: make([]byte, MaxFrame+1),
+	}
+	if _, err := AppendFrame(nil, a, b, big); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize frame: got %v", err)
+	}
+	// And a truncated frame envelope must not read past the buffer.
+	ok, err := AppendFrame(nil, a, b, Heartbeat{Group: "g", From: a})
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	for cut := 0; cut < len(ok); cut++ {
+		if _, _, _, _, err := ReadFrame(ok[:cut]); err == nil {
+			t.Fatalf("ReadFrame of %d/%d-byte prefix succeeded", cut, len(ok))
+		}
+	}
+}
+
+func TestStructureRoundTrip(t *testing.T) {
+	s := testStructure(t)
+	enc, err := Encode(Ack{Group: "g", Structure: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dec.(Ack).Structure
+	wr, wsv, wss := s.Export()
+	gr, gsv, gss := got.Export()
+	if !reflect.DeepEqual(wr, gr) || wsv != gsv || wss != gss {
+		t.Fatalf("structure mismatch:\n want %v (next %d/%d)\n got  %v (next %d/%d)",
+			wr, wsv, wss, gr, gsv, gss)
+	}
+}

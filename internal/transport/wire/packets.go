@@ -1,0 +1,218 @@
+// Package wire defines the protocol packets of the view-synchrony
+// run-time and a length-prefixed binary codec for them.
+//
+// Historically the packets were unexported types of internal/core and
+// traveled as Go values through the in-memory simulator — they had no
+// wire form at all. Real-socket backends (internal/transport/udp) need
+// one, so the packet types live here, exported, and core aliases them;
+// the codec round-trips every kind: heartbeats, data multicasts and
+// unicasts (which also carry the group-object snapshot/pull payloads
+// as opaque bytes), e-view changes, merge requests, proposals, acks
+// (with their flush retransmission bodies), and installs (with their
+// per-predecessor flush sets).
+//
+// All packets carry the group name; processes silently drop packets for
+// other groups. Packets are treated as immutable once sent, whether
+// they travel by value through the simulator or by bytes through a
+// socket.
+package wire
+
+import (
+	"repro/internal/clock"
+	"repro/internal/evs"
+	"repro/internal/ids"
+)
+
+// EChangeKind says which merge operation caused an e-view change.
+type EChangeKind int
+
+// E-view change kinds.
+const (
+	EChangeSubviewMerge EChangeKind = iota + 1
+	EChangeSVSetMerge
+)
+
+// String renders the kind.
+func (k EChangeKind) String() string {
+	switch k {
+	case EChangeSubviewMerge:
+		return "SubviewMerge"
+	case EChangeSVSetMerge:
+		return "SVSetMerge"
+	default:
+		return "EChange(?)"
+	}
+}
+
+// Heartbeat is the periodic liveness-and-discovery broadcast. Hearing
+// a heartbeat from a process outside the current view (or advertising a
+// different view) is the merge/join trigger.
+type Heartbeat struct {
+	Group string
+	From  ids.PID
+	// View is the sender's current view id; lets receivers detect
+	// foreign views and stale members.
+	View ids.ViewID
+	// MaxEpoch is the highest proposal/view epoch the sender has seen;
+	// gossiping it keeps coordinators' proposal epochs ahead of every
+	// commitment in the partition.
+	MaxEpoch uint64
+	// VC is the sender's per-view delivery vector (its vector clock
+	// restricted to the view composition). Receivers in the same view
+	// compute the component-wise minimum across members: messages at or
+	// below it are *stable* — delivered by everybody — and can be pruned
+	// from the flush buffers.
+	VC clock.Vector
+	// Left is set on the farewell heartbeat of a leaving process.
+	Left bool
+}
+
+func (Heartbeat) FabricKind() string { return "hb" }
+func (p Heartbeat) FabricSize() int  { return 40 + 8*len(p.VC) }
+
+// Data is an application multicast — or, when Unicast is set, an
+// addressed point-to-point message within the view (used e.g. by the
+// state-transfer tool and the group-object snapshot/pull exchange).
+// Unicasts are delivered only in the view they were sent in, but are
+// excluded from the flush (Agreement applies to multicasts; an
+// addressed message concerns one recipient only).
+type Data struct {
+	Group   string
+	ID      ids.MsgID
+	View    ids.ViewID
+	Stamp   clock.Vector
+	Payload []byte
+	Unicast bool
+}
+
+func (Data) FabricKind() string { return "data" }
+func (p Data) FabricSize() int  { return 48 + len(p.Payload) + 8*len(p.Stamp) }
+
+// CausalSender implements clock.CausalMsg.
+func (p Data) CausalSender() ids.PID { return p.ID.Sender }
+
+// CausalStamp implements clock.CausalMsg.
+func (p Data) CausalStamp() clock.Vector { return p.Stamp }
+
+// PktID returns the message identifier (causal-routing surface).
+func (p Data) PktID() ids.MsgID { return p.ID }
+
+// PktView returns the origin view (causal-routing surface).
+func (p Data) PktView() ids.ViewID { return p.View }
+
+// EChange is an e-view change multicast by the view's sequencer. It
+// travels through the same causal channel as data so that Property 6.2
+// (consistent cuts) holds.
+type EChange struct {
+	Group string
+	ID    ids.MsgID
+	View  ids.ViewID
+	Stamp clock.Vector
+	// Seq is the per-view e-view change sequence number (1-based).
+	Seq  uint32
+	Kind EChangeKind
+	// Subviews is the argument of a SubviewMerge.
+	Subviews []ids.SubviewID
+	// SVSets is the argument of an SVSetMerge.
+	SVSets []ids.SVSetID
+}
+
+func (EChange) FabricKind() string { return "echange" }
+func (p EChange) FabricSize() int {
+	return 64 + 24*len(p.Subviews) + 24*len(p.SVSets) + 8*len(p.Stamp)
+}
+
+// CausalSender implements clock.CausalMsg.
+func (p EChange) CausalSender() ids.PID { return p.ID.Sender }
+
+// CausalStamp implements clock.CausalMsg.
+func (p EChange) CausalStamp() clock.Vector { return p.Stamp }
+
+// PktID returns the message identifier (causal-routing surface).
+func (p EChange) PktID() ids.MsgID { return p.ID }
+
+// PktView returns the origin view (causal-routing surface).
+func (p EChange) PktView() ids.ViewID { return p.View }
+
+// MergeReq asks the view's sequencer to perform a merge. Fire-and-
+// forget: if the sequencer or the view dies first, the application will
+// observe the absence of the corresponding EChangeEvent and may retry.
+type MergeReq struct {
+	Group string
+	From  ids.PID
+	View  ids.ViewID
+	Kind  EChangeKind
+	// Subviews / SVSets are the merge arguments.
+	Subviews []ids.SubviewID
+	SVSets   []ids.SVSetID
+}
+
+func (MergeReq) FabricKind() string { return "mergereq" }
+func (p MergeReq) FabricSize() int  { return 48 + 24*len(p.Subviews) + 24*len(p.SVSets) }
+
+// Propose starts (or retries) a view agreement round.
+type Propose struct {
+	Group string
+	// Proposal is the id the new view will have if installed.
+	Proposal ids.ViewID
+	// Comp is the proposed composition.
+	Comp []ids.PID
+}
+
+func (Propose) FabricKind() string { return "propose" }
+func (p Propose) FabricSize() int  { return 32 + 16*len(p.Comp) }
+
+// Ack is a member's answer to a proposal. It reports everything the
+// coordinator needs for the flush and for composing the new enriched
+// view: the member's predecessor view, the application messages it has
+// delivered in that view (with bodies, so the coordinator can
+// retransmit), the e-view change prefix it has applied, and its current
+// structure.
+type Ack struct {
+	Group    string
+	Proposal ids.ViewID
+	From     ids.PID
+	// PredView is the view the member is leaving.
+	PredView ids.ViewID
+	// Delivered are the data packets the member has delivered in
+	// PredView, keyed by message id.
+	Delivered map[ids.MsgID]Data
+	// EChangeSeq is the highest e-view change applied in PredView.
+	EChangeSeq uint32
+	// Structure is the member's current enriched structure (reflecting
+	// EChangeSeq changes).
+	Structure evs.Structure
+}
+
+func (Ack) FabricKind() string { return "ack" }
+func (p Ack) FabricSize() int {
+	n := 64
+	for _, d := range p.Delivered {
+		n += d.FabricSize()
+	}
+	return n
+}
+
+// Install finalizes a view agreement round.
+type Install struct {
+	Group    string
+	Proposal ids.ViewID
+	Comp     []ids.PID
+	// Flush maps each predecessor view to the union of data packets
+	// delivered in it by the members joining from it. A member delivers
+	// the ones it misses before installing (P2.1).
+	Flush map[ids.ViewID][]Data
+	// Structure is the composed enriched structure of the new view.
+	Structure evs.Structure
+}
+
+func (Install) FabricKind() string { return "install" }
+func (p Install) FabricSize() int {
+	n := 48 + 16*len(p.Comp)
+	for _, msgs := range p.Flush {
+		for _, d := range msgs {
+			n += d.FabricSize()
+		}
+	}
+	return n
+}

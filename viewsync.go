@@ -59,6 +59,8 @@ import (
 	"repro/internal/sstate"
 	"repro/internal/stable"
 	"repro/internal/transfer"
+	"repro/internal/transport"
+	"repro/internal/transport/udp"
 )
 
 // Identifier types (paper §2: process identifiers come from an infinite
@@ -81,20 +83,39 @@ type (
 // NewPIDSet builds a PIDSet from members.
 func NewPIDSet(members ...PID) PIDSet { return ids.NewPIDSet(members...) }
 
-// Network fabric (the simulated asynchronous, partitionable network).
+// Network transports. Transport is the pluggable seam every run-time
+// layer consumes; Fabric (the simulated network) is the default
+// implementation, and UDPTransport carries the same protocol over real
+// loopback/LAN sockets.
 type (
+	// Transport is the abstract network: endpoint attachment, broadcast
+	// discovery, per-kind traffic statistics.
+	Transport = transport.Transport
+	// TransportEndpoint is one process's attachment to a Transport.
+	TransportEndpoint = transport.Endpoint
+	// Partitioner is the optional fault-injection surface of a
+	// Transport (both Fabric and UDPTransport implement it).
+	Partitioner = transport.Partitioner
 	// Fabric is the simulated network: delays, losses, partitions.
 	Fabric = simnet.Fabric
 	// FabricConfig parametrizes a Fabric.
 	FabricConfig = simnet.Config
 	// DelayModel produces per-message latencies.
 	DelayModel = simnet.DelayModel
-	// FabricStats are the fabric's message counters.
-	FabricStats = simnet.Stats
+	// FabricStats are a transport's message counters.
+	FabricStats = transport.Stats
+	// UDPTransport carries the protocol over real UDP sockets.
+	UDPTransport = udp.Transport
+	// UDPConfig parametrizes a UDPTransport.
+	UDPConfig = udp.Config
 )
 
 // NewFabric creates a running fabric.
 func NewFabric(cfg FabricConfig) *Fabric { return simnet.New(cfg) }
+
+// NewUDP creates a transport over real UDP sockets (loopback by
+// default); see the udp package for LAN use.
+func NewUDP(cfg UDPConfig) *UDPTransport { return udp.New(cfg) }
 
 // NewUniformDelay returns a uniform [min,max] latency model.
 var NewUniformDelay = simnet.NewUniformDelay
@@ -140,10 +161,10 @@ type (
 	VectorClock = clock.Vector
 )
 
-// Start boots a new incarnation of site on the fabric and joins its
-// group. See core.Start.
-func Start(fabric *Fabric, reg *Registry, site string, opts Options) (*Process, error) {
-	return core.Start(fabric, reg, site, opts)
+// Start boots a new incarnation of site on the transport (a *Fabric or
+// a *UDPTransport) and joins its group. See core.Start.
+func Start(tr Transport, reg *Registry, site string, opts Options) (*Process, error) {
+	return core.Start(tr, reg, site, opts)
 }
 
 // Run-time errors.
@@ -304,8 +325,8 @@ type (
 )
 
 // OpenObject starts a replica of obj at the given site.
-func OpenObject(fabric *Fabric, reg *Registry, site string, coreOpts Options, cfg ObjectConfig, obj GroupObject) (*ObjectHost, error) {
-	return gobject.Open(fabric, reg, site, coreOpts, cfg, obj)
+func OpenObject(tr Transport, reg *Registry, site string, coreOpts Options, cfg ObjectConfig, obj GroupObject) (*ObjectHost, error) {
+	return gobject.Open(tr, reg, site, coreOpts, cfg, obj)
 }
 
 // Group-object framework errors.
