@@ -21,23 +21,35 @@ race:
 	$(GO) test -race ./...
 
 # check is the full verification: vet + race across every package (the
-# transport tree — wire codec + UDP backend — gets its own explicit
-# race pass so a filtered run of check's tail still covers it), plus
-# the static-vs-adaptive failure-detector ablation in short mode (the
-# quick cell asserts nothing but must run to completion), plus a quick
-# E1 whose captured trace must pass every offline checker (vstrace
-# -analyze exits non-zero on any paper-invariant violation) and the
-# span profiler (vstrace -profile exits non-zero when any view-change
-# span never closed — a change the run left unresolved), plus a quick
-# E10 that exercises the same protocol over real loopback UDP sockets.
+# transport tree — wire codec + UDP backend — and internal/core — the
+# protocol loop plus the reconcile fast path's packet-drop tests — get
+# their own explicit race passes so a filtered run of check's tail
+# still covers them), plus the static-vs-adaptive failure-detector
+# ablation in short mode (the quick cell asserts nothing but must run
+# to completion), plus a quick E1 whose captured trace must pass every
+# offline checker (vstrace -analyze exits non-zero on any
+# paper-invariant violation) and the span profiler (vstrace -profile
+# exits non-zero when any view-change span never closed — a change the
+# run left unresolved), plus a quick E10 that exercises the same
+# protocol over real loopback UDP sockets. The E8M runs are the
+# install-mismatch gate: vsbench exits non-zero if any manufactured
+# divergence escalated to a re-proposal round with reconciliation on
+# (reproposal_total must be 0), on the simulator and over UDP, and the
+# sim run's trace must still satisfy the offline checkers and profile
+# with no unclosed spans.
 check: build
 	$(GO) vet ./... && $(GO) test -race ./...
 	$(GO) test -race ./internal/transport/...
+	$(GO) test -race ./internal/core
 	$(GO) run ./cmd/vsbench -exp e7 -quick
 	$(GO) run ./cmd/vsbench -exp e1 -quick -trace-out /tmp/vsbench-e1-check.jsonl
 	$(GO) run ./cmd/vstrace -analyze /tmp/vsbench-e1-check.jsonl
 	$(GO) run ./cmd/vstrace -profile /tmp/vsbench-e1-check.jsonl
 	$(GO) run ./cmd/vsbench -exp e10 -quick
+	$(GO) run ./cmd/vsbench -exp e8m -quick -trace-out /tmp/vsbench-e8m-check.jsonl
+	$(GO) run ./cmd/vstrace -analyze /tmp/vsbench-e8m-check.jsonl
+	$(GO) run ./cmd/vstrace -profile /tmp/vsbench-e8m-check.jsonl
+	$(GO) run ./cmd/vsbench -exp e8m -quick -transport udp
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...

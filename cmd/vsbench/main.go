@@ -39,7 +39,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10")
+	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7|e8|e8m|e9|e10")
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
@@ -88,9 +88,9 @@ func main() {
 	runners := map[string]func(experiments.Timing, int64, bool) error{
 		"f1": runF1, "f2": runF2, "f3": runF3,
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5, "e6": runE6,
-		"e7": runE7, "e8": runE8, "e9": runE9, "e10": runE10,
+		"e7": runE7, "e8": runE8, "e8m": runE8M, "e9": runE9, "e10": runE10,
 	}
-	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8m", "e9", "e10"}
 
 	which := strings.ToLower(*exp)
 	if which == "all" {
@@ -343,6 +343,35 @@ func runE8(timing experiments.Timing, seed int64, quick bool) error {
 			return err
 		}
 		fmt.Println(row)
+	}
+	return nil
+}
+
+func runE8M(timing experiments.Timing, seed int64, quick bool) error {
+	header("E8M — install-propagation mismatch: reconcile fast path vs re-proposal (ablation)",
+		"§4: the install is already agreed; re-delivering it to a lagging member needs no new round — re-proposing there is pure protocol overhead")
+	cycles := 8
+	if quick {
+		cycles = 4
+	}
+	fmt.Println(experiments.E8MismatchHeader)
+	for _, reconcile := range []bool{true, false} {
+		row, err := experiments.RunE8Mismatch(cycles, reconcile, timing, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(row)
+		// The fast path's acceptance gate: with reconciliation on, every
+		// manufactured divergence must heal by an install re-send —
+		// never a re-proposal round. CI runs `vsbench -exp e8m` for this.
+		if reconcile {
+			if row.Reproposals > 0 {
+				return fmt.Errorf("e8m: %d reproposals with reconciliation enabled (want 0)", row.Reproposals)
+			}
+			if row.Dropped > 0 && row.Reconciles == 0 {
+				return fmt.Errorf("e8m: %d installs dropped but no reconciles recorded", row.Dropped)
+			}
+		}
 	}
 	return nil
 }

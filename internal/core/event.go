@@ -208,11 +208,22 @@ type ExtendedObserver interface {
 	// OnReproposal fires when self starts a proposal solely because a
 	// co-member advertises a different view id (install-propagation
 	// mismatch or an asymmetric partition), not because the composition
-	// changed: ours/theirs are the diverging view ids and peer the first
-	// diverging member observed. Every such round is churn that no
-	// failure-detector tuning can remove; the matching OnPropose fires
-	// immediately after.
+	// changed: ours/theirs are the diverging view ids and peer the
+	// smallest diverging member observed. With the reconciliation fast
+	// path enabled this fires only after reconcile attempts were
+	// exhausted (or were impossible: the peer is ahead of us, or we hold
+	// no install to re-send); the matching OnPropose fires immediately
+	// after.
 	OnReproposal(self, peer ids.PID, ours, theirs ids.ViewID)
+	// OnReconcile fires when self re-sends its cached install of view to
+	// a co-member that advertises an older view id with an unchanged
+	// composition, instead of starting a re-proposal round: the peer
+	// acked the proposal (the coordinator installed only after every
+	// member acked) and merely missed the install packet, so
+	// re-delivering it heals the divergence without a new agreement.
+	// attempt counts the re-sends to this peer since the last install
+	// (1-based).
+	OnReconcile(self, peer ids.PID, view ids.ViewID, attempt int)
 	// OnPacket fires for every protocol packet sent (sent=true) or
 	// received by this process, with the fabric kind label and nominal
 	// size in bytes.

@@ -472,7 +472,7 @@ func (m *machine) onTick(now time.Time) {
 	// effective timeout could still clear it.
 	m.det.GC(now, 10*m.det.MaxTimeout()+time.Second)
 	for pid, t := range m.tombstones {
-		if now.Sub(t) > time.Minute {
+		if now.Sub(t) > m.p.opts.TombstoneTTL {
 			delete(m.tombstones, pid)
 		}
 	}
@@ -483,31 +483,49 @@ func (m *machine) onTick(now time.Time) {
 	desired.Add(m.p.pid)
 
 	need := !desired.Equal(m.comp)
-	// divPeer/divView record a view-id divergence with an unchanged
-	// composition; a proposal launched for that reason alone is a
-	// re-proposal (reported via OnReproposal at launch below).
-	var divPeer ids.PID
-	var divView ids.ViewID
+	// divFound records a view-id divergence with an unchanged
+	// composition (divPeer/divView the diverging member and its view);
+	// such a divergence is healed by the reconciliation fast path below
+	// when possible, and otherwise launches a re-proposal (reported via
+	// OnReproposal at launch). An explicit flag, not a zero-PID
+	// sentinel: a zero ids.PID comparing equal to divPeer must not
+	// silently skip the hooks.
+	var (
+		divFound bool
+		divPeer  ids.PID
+		divView  ids.ViewID
+	)
 	if !need {
 		// Same composition but a member advertises a different view: the
 		// histories diverged (it missed our install, or an asymmetric
-		// partition let it move on while we never suspected it) and only
-		// a fresh proposal reunifies them. No epoch direction is exempt:
-		// if the peer's view is newer, we may still be the smallest
-		// member and thus the only one entitled to propose. Transient
-		// mismatch during install propagation is absorbed by the dwell.
+		// partition let it move on while we never suspected it).
+		// Transient mismatch during install propagation is absorbed by
+		// the dwell. The scan picks the smallest diverging PID so which
+		// peer gets reported (and reconciled first) is deterministic
+		// across runs — map iteration order must not leak into traces.
 		for q, v := range m.peerView {
 			if m.comp.Has(q) && alive.Has(q) && v != m.view.ID {
-				need = true
-				divPeer, divView = q, v
-				break
+				if !divFound || q.Less(divPeer) {
+					divPeer, divView = q, v
+				}
+				divFound = true
 			}
 		}
+		need = divFound
 	}
 	if need {
 		m.mismatch++
 	} else {
 		m.mismatch = 0
+	}
+	if !divFound {
+		// No live divergence: any reconcile bookkeeping is stale (the
+		// peer healed, left, or the composition changed — which resets
+		// everything at the next install anyway).
+		m.reconHold = 0
+		if len(m.reconAttempts) > 0 {
+			clear(m.reconAttempts)
+		}
 	}
 
 	if m.coord != nil {
@@ -537,8 +555,38 @@ func (m *machine) onTick(now time.Time) {
 	if min, ok := desired.Min(); !ok || min != m.p.pid {
 		return // someone smaller is responsible for coordinating
 	}
-	if divPeer != (ids.PID{}) && m.p.tobs != nil {
-		m.p.tobs.OnReproposal(m.p.pid, divPeer, m.view.ID, divView)
+	if divFound {
+		if m.reconHold > 0 {
+			// A reconcile re-send is still in flight; give the peer time
+			// to apply it before acting on the divergence again.
+			m.reconHold--
+			return
+		}
+		// Reconciliation fast path: the diverging peer sits in our
+		// composition, so it acked the proposal our view came from (the
+		// coordinator installed only after every member acked) and merely
+		// missed the install packet. Re-delivering the cached install
+		// heals it without a new agreement round — but only when the peer
+		// is *behind* us; if its view is newer we are the laggard and
+		// only a fresh proposal reunifies the histories.
+		if !m.p.opts.NoReconcile && m.haveInstall && divView.Less(m.view.ID) &&
+			m.reconAttempts[divPeer] < m.p.opts.ReconcileAttempts {
+			m.reconAttempts[divPeer]++
+			m.p.bumpStat(func(s *Stats) { s.Reconciles++ })
+			if m.p.tobs != nil {
+				m.p.tobs.OnReconcile(m.p.pid, divPeer, m.view.ID, m.reconAttempts[divPeer])
+			}
+			inst := m.lastInstall
+			inst.Resend = true
+			m.send(divPeer, inst)
+			m.reconHold = m.p.opts.ReconcileDwell
+			return
+		}
+		// Reconcile exhausted or impossible: escalate to a re-proposal.
+		m.p.bumpStat(func(s *Stats) { s.Reproposals++ })
+		if m.p.tobs != nil {
+			m.p.tobs.OnReproposal(m.p.pid, divPeer, m.view.ID, divView)
+		}
 	}
 	m.startProposal(m.clampSingleJoin(desired), now, false)
 }
@@ -735,6 +783,14 @@ func lessMsgID(a, b ids.MsgID) bool {
 }
 
 func (m *machine) onInstall(inst pktInstall) {
+	if inst.Proposal == m.view.ID {
+		// Already installed: a reconcile re-send (or a duplicated packet)
+		// of the view we live in. Installing is idempotent per view id,
+		// so drop it — re-running the state reset would wipe delivery
+		// bookkeeping mid-view.
+		m.p.bumpStat(func(s *Stats) { s.InstallsDeduped++ })
+		return
+	}
 	if inst.Proposal != m.ackedProp {
 		return // we did not ack this proposal; P2.1 forbids joining it
 	}
@@ -774,6 +830,16 @@ func (m *machine) onInstall(inst pktInstall) {
 	m.blocked = false
 	m.ackedProp = ids.ViewID{}
 	m.mismatch = 0
+	// Cache the install (with its flush retransmission bodies) so the
+	// reconciliation fast path can re-deliver it to a member that misses
+	// the packet; fresh install means any reconcile bookkeeping is stale.
+	inst.Resend = false
+	m.lastInstall = inst
+	m.haveInstall = true
+	m.reconHold = 0
+	if len(m.reconAttempts) > 0 {
+		clear(m.reconAttempts)
+	}
 	m.storeEpoch(inst.Proposal.Epoch)
 	m.persistView(newView)
 	m.p.setCur(newView)

@@ -29,6 +29,27 @@ type Options struct {
 	// filters transient disagreement during install propagation.
 	MismatchDwell int
 
+	// ReconcileDwell is how many ticks the coordinator waits after
+	// re-sending its cached install to a diverging peer before acting on
+	// the divergence again (another re-send, or the re-proposal
+	// escalation). Defaults to MismatchDwell.
+	ReconcileDwell int
+	// ReconcileAttempts bounds how many install re-sends a diverging
+	// peer gets before the coordinator gives up on reconciliation and
+	// escalates to a full re-proposal round (default 3).
+	ReconcileAttempts int
+	// NoReconcile disables the install-reconciliation fast path: every
+	// same-composition view-id divergence escalates straight to a
+	// re-proposal round, as the run-time behaved before the fast path
+	// existed. Ablation experiments use it.
+	NoReconcile bool
+
+	// TombstoneTTL is how long a departed process's tombstone blocks its
+	// liveness indications (stale packets of a dead incarnation must not
+	// resurrect it). Defaults to 20*SuspectAfter, scaling with the
+	// timing profile instead of a wall-clock constant.
+	TombstoneTTL time.Duration
+
 	// AdaptiveFD enables per-peer adaptive suspicion timeouts: a
 	// Jacobson-style smoothed mean + FDDevK·deviation over the observed
 	// heartbeat gaps, clamped to [FDFloor, FDCeil]. Until FDWarmup gaps
@@ -77,6 +98,9 @@ const (
 	DefaultTick           = 2 * time.Millisecond
 	DefaultProposeTimeout = 40 * time.Millisecond
 	DefaultMismatchDwell  = 3
+	// DefaultReconcileAttempts is the install re-send budget per
+	// diverging peer (see Options.ReconcileAttempts).
+	DefaultReconcileAttempts = 3
 
 	// Adaptive failure-detector defaults (see Options.AdaptiveFD).
 	DefaultFDDevK   = fd.DefaultDevK
@@ -114,6 +138,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MismatchDwell <= 0 {
 		o.MismatchDwell = DefaultMismatchDwell
+	}
+	if o.ReconcileDwell <= 0 {
+		o.ReconcileDwell = o.MismatchDwell
+	}
+	if o.ReconcileAttempts <= 0 {
+		o.ReconcileAttempts = DefaultReconcileAttempts
+	}
+	if o.TombstoneTTL <= 0 {
+		o.TombstoneTTL = 20 * o.SuspectAfter
 	}
 	// The adaptive knobs are validated unconditionally so that reading
 	// them back is meaningful whether or not AdaptiveFD is set; they are

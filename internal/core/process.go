@@ -37,6 +37,19 @@ type Stats struct {
 	// ProposalRetries counts proposal rounds restarted after an ack
 	// timeout (a subset of ProposalsSent).
 	ProposalRetries uint64
+	// Reproposals counts membership rounds this process started solely
+	// to reunify diverged view ids (a subset of ProposalsSent); with the
+	// reconciliation fast path enabled, only divergences reconciliation
+	// could not heal reach it.
+	Reproposals uint64
+	// Reconciles counts install re-sends this process performed to heal
+	// a same-composition view-id divergence without a proposal round.
+	Reconciles uint64
+	// InstallsDeduped counts install packets dropped because the view
+	// was already installed here (a reconcile re-send raced the original
+	// install, or arrived after another heal); the duplicate is
+	// idempotent by construction.
+	InstallsDeduped uint64
 	// StableMsgsPruned counts buffered messages discarded by stability
 	// tracking (delivered by every member, so no flush can need them).
 	StableMsgsPruned uint64
@@ -391,6 +404,19 @@ type machine struct {
 	mismatch      int
 	pendingMerges []pktMergeReq
 
+	// lastInstall is the install packet that created the current view,
+	// kept (with its flush retransmission bodies) so the coordinator can
+	// re-send it to a member that missed it; haveInstall is false for
+	// bootstrap singleton views, which no packet created (a singleton
+	// has no peer to diverge anyway). reconAttempts counts install
+	// re-sends per diverging peer since the last install; reconHold is
+	// the tick countdown between reconcile actions (Options.
+	// ReconcileDwell).
+	lastInstall   pktInstall
+	haveInstall   bool
+	reconAttempts map[ids.PID]int
+	reconHold     int
+
 	coord *coordState
 }
 
@@ -436,6 +462,7 @@ func (m *machine) init(p *Process) {
 	m.peerView = make(map[ids.PID]ids.ViewID)
 	m.peerVC = make(map[ids.PID]clock.Vector)
 	m.tombstones = make(map[ids.PID]time.Time)
+	m.reconAttempts = make(map[ids.PID]int)
 }
 
 func (m *machine) loadEpoch() uint64 {

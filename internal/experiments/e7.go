@@ -46,9 +46,13 @@ type E7Row struct {
 	AgreeP50, AgreeP95 time.Duration
 	// Reproposals counts membership rounds started only because a
 	// co-member advertised a different view id (install-propagation
-	// divergence) — the residual churn source no detector tuning
-	// removes, previously folded invisibly into ExtraViews.
+	// divergence) — residual churn no detector tuning removes. With the
+	// reconciliation fast path most of these become Reconciles instead.
 	Reproposals int
+	// Reconciles counts install re-sends by the reconciliation fast
+	// path: divergences healed without the membership round a
+	// reproposal would have cost.
+	Reconciles int
 }
 
 // RunE7 measures one (jitter, adaptive) cell: quiet window churn, then
@@ -115,6 +119,7 @@ func RunE7(jitter, window time.Duration, adaptive bool, timing Timing, seed int6
 	row.AgreeP50 = prof.Phases.Total.P50
 	row.AgreeP95 = prof.Phases.Total.P95
 	row.Reproposals = prof.Reproposals
+	row.Reconciles = prof.Reconciles
 	for _, p := range procs[:n-1] {
 		p.Leave()
 	}
@@ -122,7 +127,7 @@ func RunE7(jitter, window time.Duration, adaptive bool, timing Timing, seed int6
 }
 
 // E7Header is the column header line for E7 tables.
-const E7Header = "jitter | detector | false susp | extra views | mean timeout | detect | agree p50 | agree p95 | reprop"
+const E7Header = "jitter | detector | false susp | extra views | mean timeout | detect | agree p50 | agree p95 | reprop | reconc"
 
 // String renders the row under E7Header.
 func (r E7Row) String() string {
@@ -130,9 +135,9 @@ func (r E7Row) String() string {
 	if r.Adaptive {
 		det = "adaptive"
 	}
-	return fmt.Sprintf("%6v | %8s | %10d | %11d | %12v | %6v | %9v | %9v | %6d",
+	return fmt.Sprintf("%6v | %8s | %10d | %11d | %12v | %6v | %9v | %9v | %6d | %6d",
 		r.Jitter, det, r.FalseSuspicions, r.ExtraViews,
 		r.MeanTimeout.Round(100*time.Microsecond), r.Detect.Round(time.Millisecond),
 		r.AgreeP50.Round(100*time.Microsecond), r.AgreeP95.Round(100*time.Microsecond),
-		r.Reproposals)
+		r.Reproposals, r.Reconciles)
 }

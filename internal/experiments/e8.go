@@ -35,8 +35,13 @@ type E8Row struct {
 	TotalP50, TotalP95, TotalMax time.Duration
 	// Reproposals counts peerView-divergence rounds — churn the
 	// injected suspicions cause only indirectly, via install
-	// propagation races.
+	// propagation races. With the reconciliation fast path most such
+	// divergences are healed by an install re-send (Reconciles) before
+	// any round starts.
 	Reproposals int
+	// Reconciles counts install re-sends by the reconciliation fast
+	// path during the window.
+	Reconciles int
 }
 
 // RunE8 measures one churn-rate cell over the given window.
@@ -107,6 +112,7 @@ func RunE8(meanBetween, window time.Duration, timing Timing, seed int64) (E8Row,
 	row.TotalP95 = prof.Phases.Total.P95
 	row.TotalMax = prof.Phases.Total.Max
 	row.Reproposals = prof.Reproposals
+	row.Reconciles = prof.Reconciles
 	for _, p := range procs {
 		p.Leave()
 	}
@@ -114,14 +120,14 @@ func RunE8(meanBetween, window time.Duration, timing Timing, seed int64) (E8Row,
 }
 
 // E8Header is the column header line for E8 tables.
-const E8Header = "mean gap | inject | spans | detect p95 | agree p95 | flush p95 | total p50 | total p95 | total max | reprop | unclosed"
+const E8Header = "mean gap | inject | spans | detect p95 | agree p95 | flush p95 | total p50 | total p95 | total max | reprop | reconc | unclosed"
 
 // String renders the row under E8Header.
 func (r E8Row) String() string {
 	ms := func(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }
-	return fmt.Sprintf("%8v | %6d | %5d | %10v | %9v | %9v | %9v | %9v | %9v | %6d | %8d",
+	return fmt.Sprintf("%8v | %6d | %5d | %10v | %9v | %9v | %9v | %9v | %9v | %6d | %6d | %8d",
 		r.MeanBetween, r.Injections, r.Spans,
 		ms(r.DetectP95), ms(r.AgreeP95), ms(r.FlushP95),
 		ms(r.TotalP50), ms(r.TotalP95), ms(r.TotalMax),
-		r.Reproposals, r.Unclosed)
+		r.Reproposals, r.Reconciles, r.Unclosed)
 }

@@ -31,7 +31,13 @@ const (
 	// asymmetric partition). These rounds are the churn the E7 10 ms
 	// anomaly exposed: no detector tuning removes them, so the span
 	// profiler attributes agreement latency to them separately.
-	MetricReproposals     = "core.reproposal_total"
+	MetricReproposals = "core.reproposal_total"
+	// MetricReconciles counts install re-sends by the reconciliation fast
+	// path: the coordinator re-delivered its cached Install to a member
+	// advertising an older view id with an unchanged composition, healing
+	// the divergence without a membership round. Every reconcile is a
+	// re-proposal (and its ~ProposeTimeout agree-phase outlier) avoided.
+	MetricReconciles      = "core.reconcile_total"
 	MetricEChangeApplied  = "echange.applied"
 	MetricEChangeRequests = "echange.requests"
 	MetricFlushRecovered  = "flush.recovered_msgs"
@@ -86,6 +92,7 @@ type Collector struct {
 	suspicions     *Counter
 	falseSusp      *Counter
 	reproposals    *Counter
+	reconciles     *Counter
 	echApplied     *Counter
 	echRequests    *Counter
 	flushRecovered *Counter
@@ -148,6 +155,7 @@ func NewCollector(reg *Registry, tr *Tracer) *Collector {
 		suspicions:     reg.Counter(MetricSuspicions),
 		falseSusp:      reg.Counter(MetricFalseSuspicions),
 		reproposals:    reg.Counter(MetricReproposals),
+		reconciles:     reg.Counter(MetricReconciles),
 		echApplied:     reg.Counter(MetricEChangeApplied),
 		echRequests:    reg.Counter(MetricEChangeRequests),
 		flushRecovered: reg.Counter(MetricFlushRecovered),
@@ -348,6 +356,18 @@ func (c *Collector) OnReproposal(self, peer ids.PID, ours, theirs ids.ViewID) {
 		View: ours.String(), Note: theirs.String()})
 }
 
+// OnReconcile implements core.ExtendedObserver: the coordinator is
+// re-sending its cached install to a lagging co-member instead of
+// starting a round (see MetricReconciles). Deliberately does NOT anchor
+// a view-change window (markChange): no install follows at the
+// reconciler, so anchoring would leave the window open and misattribute
+// the next genuine change's latency.
+func (c *Collector) OnReconcile(self, peer ids.PID, view ids.ViewID, attempt int) {
+	c.reconciles.Inc()
+	c.emit(Event{PID: self.String(), Type: EvReconcile, Peer: peer.String(),
+		View: view.String(), N: attempt})
+}
+
 // OnPacket implements core.ExtendedObserver. Not traced (one multicast
 // generates O(n) packets); per-kind counters only.
 func (c *Collector) OnPacket(_ ids.PID, kind string, size int, sent bool) {
@@ -531,6 +551,12 @@ func (t *teeExt) OnFlush(self ids.PID, pred, proposal ids.ViewID, recovered int,
 func (t *teeExt) OnReproposal(self, peer ids.PID, ours, theirs ids.ViewID) {
 	for _, o := range t.ext {
 		o.OnReproposal(self, peer, ours, theirs)
+	}
+}
+
+func (t *teeExt) OnReconcile(self, peer ids.PID, view ids.ViewID, attempt int) {
+	for _, o := range t.ext {
+		o.OnReconcile(self, peer, view, attempt)
 	}
 }
 

@@ -109,6 +109,12 @@ type SpanSet struct {
 	Spans     []ViewSpan
 	Acks      []AckSample
 	Latencies []MsgLatency
+	// Reconciles counts EvReconcile events seen across the trace.
+	// A reconciled divergence is deliberately NOT a span: the lagging
+	// peer installs the re-sent view, but the reconciler itself runs no
+	// detect/agree/flush sequence — opening a span for it would leave it
+	// unclosed and fail the profiler's sanity checks.
+	Reconciles int
 }
 
 // Unclosed counts the spans that never saw their install.
@@ -230,6 +236,11 @@ func (a *SpanAssembler) Feed(ev Event) {
 	case EvRepropose:
 		st := a.open(ev.PID, ev.At)
 		st.reproposals++
+	case EvReconcile:
+		// Counted, not opened: a reconcile heals the divergence without
+		// a membership round, so there is no span to attribute it to
+		// (see SpanSet.Reconciles).
+		a.set.Reconciles++
 	case EvPropose:
 		st := a.open(ev.PID, ev.At)
 		if st.firstAgree.IsZero() {

@@ -256,3 +256,25 @@ func TestSpanAssemblerLiveCollector(t *testing.T) {
 		t.Errorf("Detect = %v, want 1ms (repropose → propose)", sp.Detect)
 	}
 }
+
+func TestSpanReconcileIsNotASpan(t *testing.T) {
+	// A reconcile heals a divergence without a membership round: the
+	// assembler must count it but must NOT open a span for it (an
+	// opened span would never close — no install follows at the
+	// reconciler — and would fail the profiler's unclosed check).
+	events := []Event{
+		{Type: EvInstall, PID: "a#1", View: "a#1:1", Round: 1, At: tAt(0)},
+		{Type: EvReconcile, PID: "a#1", Peer: "c#1", View: "a#1:1", N: 1, At: tAt(5)},
+		{Type: EvReconcile, PID: "a#1", Peer: "c#1", View: "a#1:1", N: 2, At: tAt(15)},
+	}
+	set := AssembleSpans(events)
+	if set.Reconciles != 2 {
+		t.Errorf("Reconciles = %d, want 2", set.Reconciles)
+	}
+	if got := len(set.Spans); got != 1 {
+		t.Fatalf("spans = %d, want 1 (the bootstrap install only)", got)
+	}
+	if set.Unclosed() != 0 {
+		t.Errorf("Unclosed = %d, want 0: reconciles must not open spans", set.Unclosed())
+	}
+}

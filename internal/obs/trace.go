@@ -32,6 +32,13 @@ const (
 	// member, View our view, Note the peer's. The matching EvPropose
 	// follows immediately.
 	EvRepropose EventType = "repropose"
+	// EvReconcile: the process re-sent its cached install to a co-member
+	// advertising an older view id with an unchanged composition — the
+	// reconciliation fast path healing an install-propagation divergence
+	// without a membership round. Peer is the lagging member, View the
+	// re-sent view, N the re-send attempt count for that peer (1-based).
+	// No EvPropose or EvInstall follows at the reconciler.
+	EvReconcile EventType = "reconcile"
 	// EvAck: the process acked a proposal and blocked (flush discipline).
 	EvAck EventType = "ack"
 	// EvInstall: the process installed a view.

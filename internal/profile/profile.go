@@ -102,6 +102,12 @@ type Report struct {
 	// the whole trace — churn attributable to install-propagation
 	// mismatch rather than failures or joins.
 	Reproposals int
+	// Reconciles counts install re-sends by the reconciliation fast
+	// path across the whole trace: divergences healed by re-delivering
+	// the cached install instead of running one of the rounds counted
+	// in Reproposals. Reconciles never appear as spans (no agreement
+	// happens), so they are reported alongside, not within, the rows.
+	Reconciles int
 	// Malformed counts unparseable trace lines (FromFile only).
 	Malformed int
 }
@@ -131,7 +137,7 @@ type viewKey struct {
 
 // FromSpanSet aggregates an assembled span set into a Report.
 func FromSpanSet(set obs.SpanSet) *Report {
-	r := &Report{Spans: len(set.Spans)}
+	r := &Report{Spans: len(set.Spans), Reconciles: set.Reconciles}
 
 	// Pass 1: acks per (gen, view) for the critical path.
 	type ackAgg struct {

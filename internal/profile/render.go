@@ -30,6 +30,10 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%s%d reproposals", sep, r.Reproposals)
 		sep = ", "
 	}
+	if r.Reconciles > 0 {
+		fmt.Fprintf(w, "%s%d reconciles", sep, r.Reconciles)
+		sep = ", "
+	}
 	if r.Malformed > 0 {
 		fmt.Fprintf(w, "%s%d malformed lines", sep, r.Malformed)
 		sep = ", "

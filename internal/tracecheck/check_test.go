@@ -157,3 +157,35 @@ func TestSummaryWrite(t *testing.T) {
 		}
 	}
 }
+
+// TestDuplicateInstallTolerated: a reconcile re-send can race the
+// original install, so the same (view, round) appearing twice in a row
+// at one process must not trip any per-segment invariant — the
+// duplicate is idempotent at the run-time and dropped from the segment.
+func TestDuplicateInstallTolerated(t *testing.T) {
+	events := load(t, "clean.jsonl")
+	// Re-append each process's last install verbatim, as a re-delivered
+	// Install packet would.
+	var dups []obs.Event
+	last := make(map[string]obs.Event)
+	for _, ev := range events {
+		if ev.Type == obs.EvInstall {
+			last[ev.PID] = ev
+		}
+	}
+	for _, ev := range last {
+		dups = append(dups, ev)
+	}
+	rep := Check(append(events, dups...))
+	if !rep.OK() {
+		t.Fatalf("duplicate installs flagged: %v", rep.Violations)
+	}
+	// The duplicates stay visible in the summary's raw counts but add
+	// no views (same ids).
+	if rep.Summary.Views != 2 {
+		t.Fatalf("summary views = %d, want 2", rep.Summary.Views)
+	}
+	if got := rep.Summary.Counts[obs.EvInstall]; got != 4+len(dups) {
+		t.Fatalf("install count = %d, want %d", got, 4+len(dups))
+	}
+}

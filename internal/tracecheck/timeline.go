@@ -48,7 +48,8 @@ type Segment struct {
 	// Events are the process's events, in trace order.
 	Events []obs.Event
 
-	installRound uint64
+	installRound    uint64
+	lastInstallView string
 }
 
 // Build reconstructs a Timeline from a raw event stream. Events with
@@ -79,8 +80,20 @@ func Build(events []obs.Event) *Timeline {
 			seg = &Segment{Gen: gen}
 			p.Segments = append(p.Segments, seg)
 		}
-		if ev.Type == obs.EvInstall && ev.Round > seg.installRound {
-			seg.installRound = ev.Round
+		if ev.Type == obs.EvInstall {
+			// A re-installed view id (the reconciliation fast path
+			// re-delivers Install packets, and a re-send can race the
+			// original) is idempotent at the process: drop the duplicate
+			// from the segment so per-segment invariants see each
+			// installed view once. It stays in tl.Events — the summary
+			// still counts it, and Views dedups by id anyway.
+			if ev.Round > 0 && ev.Round == seg.installRound && seg.lastInstallView == ev.View {
+				continue
+			}
+			if ev.Round > seg.installRound {
+				seg.installRound = ev.Round
+			}
+			seg.lastInstallView = ev.View
 		}
 		seg.Events = append(seg.Events, ev)
 	}

@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+)
+
+// DropFilter decorates a Transport with a send-time drop predicate,
+// giving tests and experiments packet-precise fault injection that
+// works identically over the simulator and real UDP: a dropped packet
+// simply never enters the underlying transport, exactly as if the
+// asynchronous network had lost it. The reconcile experiments use it to
+// lose a specific Install packet — a fault no Partitioner can express,
+// since a partition cuts every packet between two sites, not one.
+//
+// The zero predicate (no Arm call) passes everything through.
+type DropFilter struct {
+	inner Transport
+
+	mu   sync.Mutex
+	pred func(from, to ids.PID, payload any) bool
+	// budget, when non-negative, bounds how many packets the predicate
+	// may drop before the filter disarms itself; a budget of n drops
+	// exactly the first n matches. Negative means unlimited.
+	budget  int
+	dropped atomic.Uint64
+}
+
+// NewDropFilter wraps inner. The returned filter also implements
+// Partitioner when inner does, forwarding the calls.
+func NewDropFilter(inner Transport) *DropFilter {
+	return &DropFilter{inner: inner, budget: -1}
+}
+
+// Arm installs the drop predicate with an unlimited budget. Passing nil
+// disarms the filter.
+func (f *DropFilter) Arm(pred func(from, to ids.PID, payload any) bool) {
+	f.ArmN(pred, -1)
+}
+
+// ArmN installs the drop predicate with a drop budget: after n matches
+// have been dropped the filter disarms itself, so a retransmission (or
+// a reconcile re-send) of the same packet gets through. n < 0 means
+// unlimited.
+func (f *DropFilter) ArmN(pred func(from, to ids.PID, payload any) bool, n int) {
+	f.mu.Lock()
+	f.pred = pred
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// Disarm removes the predicate; subsequent sends pass through.
+func (f *DropFilter) Disarm() { f.Arm(nil) }
+
+// Dropped returns how many packets the filter has dropped since
+// creation (never reset).
+func (f *DropFilter) Dropped() uint64 { return f.dropped.Load() }
+
+// drop decides one packet, consuming budget on a match.
+func (f *DropFilter) drop(from, to ids.PID, payload any) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pred == nil || !f.pred(from, to, payload) {
+		return false
+	}
+	if f.budget == 0 {
+		return false
+	}
+	if f.budget > 0 {
+		f.budget--
+		if f.budget == 0 {
+			f.pred = nil
+		}
+	}
+	f.dropped.Add(1)
+	return true
+}
+
+// Attach implements Transport.
+func (f *DropFilter) Attach(pid ids.PID) (Endpoint, error) {
+	ep, err := f.inner.Attach(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &filterEndpoint{Endpoint: ep, f: f}, nil
+}
+
+// Close implements Transport.
+func (f *DropFilter) Close() { f.inner.Close() }
+
+// Stats implements Transport. Filter drops are not folded into the
+// inner transport's counters (the packets never reached it); use
+// Dropped for the filter's own count.
+func (f *DropFilter) Stats() Stats { return f.inner.Stats() }
+
+// ResetStats implements Transport.
+func (f *DropFilter) ResetStats() { f.inner.ResetStats() }
+
+// SetPartitions implements Partitioner when the inner transport does;
+// it is a no-op otherwise.
+func (f *DropFilter) SetPartitions(components ...[]string) {
+	if p, ok := f.inner.(Partitioner); ok {
+		p.SetPartitions(components...)
+	}
+}
+
+// Heal implements Partitioner when the inner transport does.
+func (f *DropFilter) Heal() {
+	if p, ok := f.inner.(Partitioner); ok {
+		p.Heal()
+	}
+}
+
+// Reachable implements Partitioner; without an inner Partitioner every
+// pair is reachable (matching an unpartitionable fabric).
+func (f *DropFilter) Reachable(a, b string) bool {
+	if p, ok := f.inner.(Partitioner); ok {
+		return p.Reachable(a, b)
+	}
+	return true
+}
+
+// filterEndpoint intercepts sends; everything else passes through.
+type filterEndpoint struct {
+	Endpoint
+	f *DropFilter
+}
+
+func (e *filterEndpoint) Send(to ids.PID, payload any) {
+	if e.f.drop(e.PID(), to, payload) {
+		return
+	}
+	e.Endpoint.Send(to, payload)
+}
+
+// Broadcast fans out through per-destination Send semantics on the
+// inner endpoint; the predicate cannot see individual destinations
+// here, so broadcasts are filtered with a zero `to`. Heartbeat-style
+// broadcast traffic is rarely the target — predicates that only match
+// concrete destinations pass broadcasts through untouched.
+func (e *filterEndpoint) Broadcast(payload any) {
+	if e.f.drop(e.PID(), ids.PID{}, payload) {
+		return
+	}
+	e.Endpoint.Broadcast(payload)
+}

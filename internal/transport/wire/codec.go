@@ -118,6 +118,7 @@ func Append(dst []byte, payload any) ([]byte, error) {
 		dst = putPIDs(dst, p.Comp)
 		dst = putFlush(dst, p.Flush)
 		dst = putStructure(dst, p.Structure)
+		dst = putBool(dst, p.Resend)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, payload)
 	}
@@ -191,6 +192,7 @@ func Decode(b []byte) (any, error) {
 		p.Comp = r.pids()
 		p.Flush = r.flush()
 		p.Structure = r.structure()
+		p.Resend = r.bool_()
 		out = p
 	default:
 		return nil, fmt.Errorf("%w: byte %d", ErrUnknownKind, kind)

@@ -98,6 +98,11 @@ func testPackets(t *testing.T) []any {
 			},
 			Structure: testStructure(t),
 		},
+		Install{
+			Group: "g", Proposal: view(4, a), Comp: []ids.PID{a, b},
+			Structure: testStructure(t),
+			Resend:    true,
+		},
 	}
 }
 

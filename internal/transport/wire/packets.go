@@ -204,6 +204,12 @@ type Install struct {
 	Flush map[ids.ViewID][]Data
 	// Structure is the composed enriched structure of the new view.
 	Structure evs.Structure
+	// Resend marks a reconciliation re-delivery: the coordinator already
+	// installed this view and is re-sending the packet to a member that
+	// advertises an older view id with an unchanged composition. The
+	// install itself is idempotent; the flag exists so traces and packet
+	// accounting can tell a healing re-send from the original broadcast.
+	Resend bool
 }
 
 func (Install) FabricKind() string { return "install" }
