@@ -36,12 +36,20 @@ race:
 # divergence escalated to a re-proposal round with reconciliation on
 # (reproposal_total must be 0), on the simulator and over UDP, and the
 # sim run's trace must still satisfy the offline checkers and profile
-# with no unclosed spans.
+# with no unclosed spans. The admin package gets its own race pass
+# (HTTP handlers racing the protocol loop's status publishes, plus the
+# live-group integration tests), and the quick E1 runs once more with
+# a live admin endpoint: -admin-check makes vsbench scrape its own
+# /metrics and /status after the run and exit non-zero if the
+# Prometheus exposition fails to parse or any member's status document
+# is missing a view id.
 check: build
 	$(GO) vet ./... && $(GO) test -race ./...
 	$(GO) test -race ./internal/transport/...
 	$(GO) test -race ./internal/core
+	$(GO) test -race ./internal/admin
 	$(GO) run ./cmd/vsbench -exp e7 -quick
+	$(GO) run ./cmd/vsbench -exp e1 -quick -admin 127.0.0.1:0 -admin-check
 	$(GO) run ./cmd/vsbench -exp e1 -quick -trace-out /tmp/vsbench-e1-check.jsonl
 	$(GO) run ./cmd/vstrace -analyze /tmp/vsbench-e1-check.jsonl
 	$(GO) run ./cmd/vstrace -profile /tmp/vsbench-e1-check.jsonl

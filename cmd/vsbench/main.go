@@ -27,11 +27,16 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/admin"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/transfer"
@@ -45,6 +50,8 @@ func main() {
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace of protocol events to this file")
 	transportName := flag.String("transport", "sim", "network backend: sim (deterministic simulator) or udp (real loopback sockets); e3/e7 always use sim, e10 always compares both")
+	adminAddr := flag.String("admin", "", "serve live admin endpoints (/metrics, /status, /trace, /debug/pprof) on this address while the run is in progress, e.g. :9090 (use :0 for an ephemeral port)")
+	adminCheck := flag.Bool("admin-check", false, "with -admin: after the run, self-scrape /metrics and /status and fail unless both are well-formed and non-empty (make check uses this)")
 	flag.Parse()
 
 	timing := experiments.FastTiming()
@@ -67,6 +74,11 @@ func main() {
 		metricsFile = f
 		reg = obs.NewRegistry()
 	}
+	if *adminAddr != "" && reg == nil {
+		// The admin endpoint serves the metrics registry live, so one is
+		// needed even without a -metrics snapshot file.
+		reg = obs.NewRegistry()
+	}
 	var traceBuf *bufio.Writer
 	var traceFile *os.File
 	var jsonl *obs.JSONLSink
@@ -83,6 +95,25 @@ func main() {
 	}
 	if reg != nil || tracer != nil {
 		timing.Observer = obs.NewCollector(reg, tracer)
+	}
+	var adminSrv *admin.Server
+	if *adminAddr != "" {
+		srv, err := admin.New(*adminAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("vsbench: %v", err)
+		}
+		adminSrv = srv
+		defer adminSrv.Close()
+		fmt.Printf("admin endpoints on http://%s (/metrics /metrics.json /status /trace /debug/pprof)\n", adminSrv.Addr())
+		// Every process any experiment starts registers itself, so
+		// /status covers whatever group is currently running. Experiment
+		// processes are raw core stacks (no gobject mode automaton), so
+		// their Figure-1 mode renders as "".
+		timing.OnStart = func(p *core.Process) {
+			adminSrv.Register(p.PID().String(), admin.Member{Status: p.StatusSnapshot})
+		}
+	} else if *adminCheck {
+		log.Fatal("vsbench: -admin-check needs -admin")
 	}
 
 	runners := map[string]func(experiments.Timing, int64, bool) error{
@@ -111,7 +142,7 @@ func main() {
 		}
 	}
 
-	if reg != nil {
+	if metricsFile != nil {
 		if err := reg.WriteJSON(metricsFile); err != nil {
 			log.Fatalf("vsbench: %v", err)
 		}
@@ -134,6 +165,67 @@ func main() {
 		}
 		fmt.Printf("\nstructured trace written to %s\n", *traceOut)
 	}
+	if *adminCheck {
+		if err := adminSelfCheck(adminSrv.Addr()); err != nil {
+			log.Fatalf("vsbench: admin self-check: %v", err)
+		}
+		fmt.Println("\nadmin self-check passed: /metrics and /status well-formed and non-empty")
+	}
+}
+
+// adminSelfCheck scrapes this process's own admin endpoints and
+// validates the two machine-readable surfaces CI depends on: /metrics
+// must be non-empty, parseable Prometheus text exposition (every line
+// a comment or "name value"), and /status must decode as a non-empty
+// member array whose entries carry a view id. make check runs a quick
+// experiment with -admin :0 -admin-check to keep both honest.
+func adminSelfCheck(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: status %s", resp.Status)
+	}
+	lines, samples := strings.Split(strings.TrimRight(string(body), "\n"), "\n"), 0
+	if len(body) == 0 {
+		return fmt.Errorf("/metrics: empty body")
+	}
+	for i, ln := range lines {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		fields := strings.Fields(ln)
+		if len(fields) != 2 {
+			return fmt.Errorf("/metrics line %d: want 'name value', got %q", i+1, ln)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("/metrics line %d: bad value %q: %v", i+1, fields[1], err)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("/metrics: no samples")
+	}
+
+	reports := admin.PollStatus(client, addr)
+	for _, r := range reports {
+		if r.Err != nil {
+			return fmt.Errorf("/status: %w", r.Err)
+		}
+		if r.Status.ViewID == "" {
+			return fmt.Errorf("/status: member %s has no view id", r.Status.PID)
+		}
+	}
+	fmt.Printf("admin self-check: %d metric samples, %d member status documents\n", samples, len(reports))
+	return nil
 }
 
 func header(title, source string) {

@@ -1,0 +1,113 @@
+// Command vsmon watches a running group through its members' admin
+// endpoints (see internal/admin; start members with vsbench/vstrace
+// -admin, or attach an admin server through the viewsync facade). It
+// polls every endpoint's /status, flattens the member documents into
+// one group-wide table, and flags:
+//
+//   - divergence — a member disagreeing with the majority view id for
+//     longer than the grace window (brief disagreement during a view
+//     change is normal and not flagged),
+//   - stuck proposals — an in-flight membership round older than the
+//     stuck threshold,
+//   - unreachable endpoints and stale members (a process whose
+//     protocol loop stopped publishing snapshots).
+//
+// Usage:
+//
+//	vsmon -addrs host1:9090,host2:9090,host3:9090
+//	vsmon -addrs :9090 -once            # one table and exit
+//	vsmon -addrs :9090 -interval 500ms -grace 2s -stuck 4s
+//
+// Exit status in -once mode: 0 when the group is healthy, 1 when any
+// member is flagged (usable as a probe from scripts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/admin"
+)
+
+func main() {
+	log.SetFlags(0)
+	addrs := flag.String("addrs", "", "comma-separated admin endpoints (host:port) to poll")
+	interval := flag.Duration("interval", time.Second, "polling interval")
+	grace := flag.Duration("grace", admin.DefaultGrace, "how long view-id disagreement is tolerated before flagging divergence")
+	stuck := flag.Duration("stuck", admin.DefaultStuck, "in-flight proposal age beyond which a member is flagged stuck")
+	stale := flag.Duration("stale", admin.DefaultStaleAfter, "status age beyond which a member is flagged stale")
+	once := flag.Bool("once", false, "poll once, print the table, exit (status 1 if unhealthy)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-endpoint HTTP timeout")
+	flag.Parse()
+
+	if *addrs == "" {
+		fmt.Fprintln(os.Stderr, "vsmon: -addrs is required (comma-separated admin endpoints)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	endpoints := strings.Split(*addrs, ",")
+	for i := range endpoints {
+		endpoints[i] = strings.TrimSpace(endpoints[i])
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	mon := &admin.Monitor{Grace: *grace, Stuck: *stuck, StaleAfter: *stale}
+
+	for {
+		var reports []admin.MemberReport
+		for _, ep := range endpoints {
+			if ep == "" {
+				continue
+			}
+			reports = append(reports, admin.PollStatus(client, ep)...)
+		}
+		a := mon.Assess(time.Now(), reports)
+		render(os.Stdout, a)
+		if *once {
+			if !a.Healthy {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// render prints one assessment as a table followed by a one-line group
+// summary. Each polling round appends a fresh table (plain sequential
+// output keeps vsmon usable under tee/redirect and in CI logs).
+func render(w *os.File, a admin.Assessment) {
+	fmt.Fprintf(w, "=== %s  members=%d views=%d majority=%s\n",
+		a.At.Format("15:04:05.000"), len(a.Members), len(a.Views), orDash(a.Majority))
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "MEMBER\tENDPOINT\tMODE\tVIEW\tSIZE\tBLOCKED\tHEALTH")
+	for _, h := range a.Members {
+		health := "ok"
+		if h.Flagged() {
+			health = h.Detail
+		} else if h.DivergentFor > 0 {
+			health = fmt.Sprintf("ok (view changing, %s)", h.DivergentFor.Round(time.Millisecond))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%v\t%s\n",
+			orDash(h.PID), h.Endpoint, orDash(h.Mode), orDash(h.ViewID), h.Size, h.Blocked, health)
+	}
+	tw.Flush()
+	if a.Healthy {
+		fmt.Fprintln(w, "group: healthy")
+	} else {
+		fmt.Fprintln(w, "group: UNHEALTHY")
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -45,6 +45,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -67,6 +68,7 @@ func main() {
 	analyze := flag.String("analyze", "", "analyze a JSONL trace file instead of running a schedule; exit 1 on violation")
 	prof := flag.String("profile", "", "profile a JSONL trace file: per-view phase breakdown, phase/delivery percentiles, critical path; exit 1 on unclosed spans")
 	diff := flag.Bool("diff", false, "diff two JSONL trace files (two positional args); report the first divergence")
+	adminAddr := flag.String("admin", "", "serve live admin endpoints (/metrics, /status, /trace, /debug/pprof) on this address while the schedule runs, e.g. :9090 (use :0 for an ephemeral port)")
 	flag.Parse()
 	switch {
 	case *analyze != "":
@@ -88,7 +90,7 @@ func main() {
 		if *transportName != "sim" && *transportName != "udp" {
 			log.Fatalf("vstrace: unknown transport %q (want sim|udp)", *transportName)
 		}
-		if err := run(*n, *steps, *seed, *traceOut, *transportName); err != nil {
+		if err := run(*n, *steps, *seed, *traceOut, *transportName, *adminAddr); err != nil {
 			log.Fatalf("vstrace: %v", err)
 		}
 	}
@@ -153,7 +155,7 @@ func runDiff(pathA, pathB string) error {
 	return nil
 }
 
-func run(n, steps int, seed int64, traceOut, transportName string) error {
+func run(n, steps int, seed int64, traceOut, transportName, adminAddr string) error {
 	r := rand.New(rand.NewSource(seed))
 	rec := check.NewRecorder()
 
@@ -176,7 +178,9 @@ func run(n, steps int, seed int64, traceOut, transportName string) error {
 		jsonl = obs.NewJSONLSink(traceBuf)
 		sinks = append(sinks, jsonl)
 	}
-	coll := obs.NewCollector(nil, obs.NewTracer(0, sinks...))
+	mreg := obs.NewRegistry()
+	tracer := obs.NewTracer(0, sinks...)
+	coll := obs.NewCollector(mreg, tracer)
 	observer := obs.Tee(rec, coll)
 	var fabric experiments.NetFabric
 	if transportName == "udp" {
@@ -191,12 +195,23 @@ func run(n, steps int, seed int64, traceOut, transportName string) error {
 	reg := stable.NewRegistry()
 	timing := experiments.FastTiming()
 	timing.Observer = observer
+	if adminAddr != "" {
+		srv, err := admin.New(adminAddr, mreg, tracer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("admin endpoints on http://%s (/metrics /metrics.json /status /trace /debug/pprof)\n", srv.Addr())
+		timing.OnStart = func(p *core.Process) {
+			srv.Register(p.PID().String(), admin.Member{Status: p.StatusSnapshot})
+		}
+	}
 	opts := timing.Options("trace", true)
 
 	sites := make([]string, n)
 	live := make(map[string]*core.Process, n)
 	start := func(site string) error {
-		p, err := core.Start(fabric, reg, site, opts)
+		p, err := timing.Start(fabric, reg, site, opts)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,230 @@
+// Package admin exposes a running group member's live state over HTTP:
+// Prometheus metrics, a JSON status document per member, the recent
+// trace-event ring, and the standard pprof endpoints. It is the
+// machine-readable face of the repo's observability layer — the same
+// Registry/Tracer/StatusSnapshot data the CLIs print after a run, but
+// served while the run is still going, so an operator (or cmd/vsmon)
+// can watch a view change happen instead of reading about it later.
+//
+// One Server carries any number of members because the experiment
+// drivers (vsbench, vstrace) run whole groups inside a single OS
+// process. A real deployment with one member per process registers
+// exactly one. /status therefore always returns a JSON *array* of
+// member documents; consumers that poll many endpoints (vsmon) just
+// flatten the arrays.
+//
+// Routes:
+//
+//	/metrics       Prometheus text exposition of the shared Registry
+//	/metrics.json  the same snapshot as JSON (obs.Snapshot)
+//	/status        []MemberStatus for every registered member
+//	/trace?n=N     the last N trace events from the ring (JSON)
+//	/debug/pprof/  net/http/pprof
+//
+// Everything served is a point-in-time copy taken outside the protocol
+// loops (Registry snapshots are atomic reads; StatusSnapshot is a
+// mutex-guarded copy), so scraping at any rate cannot block or corrupt
+// a run — the perturbation benchmark in this package quantifies the
+// residual cost.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// DefaultTraceTail is how many trace events /trace returns when the
+// request does not say (?n=).
+const DefaultTraceTail = 100
+
+// Member is one group member's introspection hooks. Status must be
+// safe to call from any goroutine (core.Process.StatusSnapshot is);
+// Mode, when non-nil, supplies the Figure-1 operating-mode label
+// (gobject.Host.Mode().String()) — raw core processes have no mode
+// automaton, so their mode renders as "".
+type Member struct {
+	Status func() core.Status
+	Mode   func() string
+}
+
+// MemberStatus is the /status document for one member: the process
+// Status plus the Figure-1 mode label ("Normal", "Reduced", ...; empty
+// when the member runs without the gobject mode automaton).
+type MemberStatus struct {
+	core.Status
+	Mode string `json:"mode"`
+}
+
+// Server serves the admin endpoints for a set of registered members.
+// Create with New (which binds the listener) or use Handler with a
+// test server. All methods are safe for concurrent use.
+type Server struct {
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	mu      sync.Mutex
+	members map[string]Member
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New binds addr (e.g. ":9090", or ":0" for an ephemeral port) and
+// starts serving the admin endpoints for reg and tr; tr may be nil, in
+// which case /trace serves an empty list. Register members as they
+// start. Close releases the port.
+func New(addr string, reg *obs.Registry, tr *obs.Tracer) (*Server, error) {
+	s := newServer(reg, tr)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close.
+	return s, nil
+}
+
+// newServer builds a Server without a listener (Handler-only use).
+func newServer(reg *obs.Registry, tr *obs.Tracer) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Server{reg: reg, tr: tr, members: make(map[string]Member)}
+}
+
+// NewHandler returns a Server that only serves through Handler — no
+// listener is bound. Tests mount it on httptest.Server.
+func NewHandler(reg *obs.Registry, tr *obs.Tracer) *Server {
+	return newServer(reg, tr)
+}
+
+// Addr returns the bound listen address ("" when created by
+// NewHandler). With ":0" this is how callers learn the real port.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Register adds (or replaces) a member under name. Members may come
+// and go while the server runs; /status reflects the current set,
+// sorted by name for stable output.
+func (s *Server) Register(name string, m Member) {
+	s.mu.Lock()
+	s.members[name] = m
+	s.mu.Unlock()
+}
+
+// Unregister removes a member (e.g. after Process.Leave).
+func (s *Server) Unregister(name string) {
+	s.mu.Lock()
+	delete(s.members, name)
+	s.mu.Unlock()
+}
+
+// Close shuts the HTTP server down and releases the port. No-op for
+// Handler-only servers.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Handler returns the admin route mux, for mounting under a test
+// server or an existing http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client write errors only
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w) //nolint:errcheck
+}
+
+// Statuses returns the current MemberStatus documents, sorted by
+// registration name — the same list /status serves.
+func (s *Server) Statuses() []MemberStatus {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.members))
+	for n := range s.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	members := make([]Member, len(names))
+	for i, n := range names {
+		members[i] = s.members[n]
+	}
+	s.mu.Unlock()
+
+	// Call the hooks outside the server lock: StatusSnapshot takes the
+	// process mutex, and a member's hook must not be able to wedge
+	// Register/Unregister.
+	out := make([]MemberStatus, 0, len(members))
+	for _, m := range members {
+		ms := MemberStatus{}
+		if m.Status != nil {
+			ms.Status = m.Status()
+		}
+		if m.Mode != nil {
+			ms.Mode = m.Mode()
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Statuses()) //nolint:errcheck
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := DefaultTraceTail
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "trace: n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	var evs []obs.Event
+	if s.tr != nil {
+		evs = s.tr.Events()
+	}
+	if n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(evs) //nolint:errcheck
+}

@@ -1,0 +1,265 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func testStatus(pid, view string) core.Status {
+	return core.Status{
+		PID: pid, Site: strings.Split(pid, "#")[0], Group: "g",
+		ViewID: view, Members: []string{"a#1", "b#1"}, Size: 2,
+		Structure: "a#1,b#1", Subviews: 1, SVSets: 1,
+		AsOf: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func newTestServer(t *testing.T) (*Server, *obs.Tracer, *httptest.Server) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("view.installs").Add(2)
+	reg.Histogram("tick.duration_s", []float64{0.001}).Observe(0.0004)
+	tr := obs.NewTracer(16)
+	s := NewHandler(reg, tr)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, tr, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE view_installs counter",
+		"view_installs 2",
+		`tick_duration_s_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Every sample line must be "name value" with a float value.
+	for i, ln := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		fields := strings.Fields(ln)
+		if len(fields) != 2 {
+			t.Fatalf("line %d not 'name value': %q", i+1, ln)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("line %d bad value: %q", i+1, ln)
+		}
+	}
+}
+
+func TestMetricsJSONEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Counters["view.installs"] != 2 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	s, _, ts := newTestServer(t)
+
+	// Empty set: an empty JSON array, not null.
+	code, body := get(t, ts.URL+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty /status = %q, want []", body)
+	}
+
+	s.Register("b#1", Member{
+		Status: func() core.Status { return testStatus("b#1", "a#1:1") },
+	})
+	s.Register("a#1", Member{
+		Status: func() core.Status { return testStatus("a#1", "a#1:1") },
+		Mode:   func() string { return "Normal" },
+	})
+	_, body = get(t, ts.URL+"/status")
+	var members []MemberStatus
+	if err := json.Unmarshal([]byte(body), &members); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if len(members) != 2 {
+		t.Fatalf("members = %d, want 2", len(members))
+	}
+	// Sorted by registration name.
+	if members[0].PID != "a#1" || members[1].PID != "b#1" {
+		t.Errorf("order = %s, %s; want a#1, b#1", members[0].PID, members[1].PID)
+	}
+	if members[0].Mode != "Normal" || members[1].Mode != "" {
+		t.Errorf("modes = %q, %q; want Normal, \"\"", members[0].Mode, members[1].Mode)
+	}
+	if members[0].ViewID != "a#1:1" || members[0].Structure != "a#1,b#1" {
+		t.Errorf("status fields not carried: %+v", members[0])
+	}
+	// The mode key must be present even when empty (acceptance: the
+	// document always includes mode).
+	if !strings.Contains(body, `"mode"`) {
+		t.Errorf("/status JSON missing mode key:\n%s", body)
+	}
+
+	s.Unregister("a#1")
+	_, body = get(t, ts.URL+"/status")
+	members = nil
+	if err := json.Unmarshal([]byte(body), &members); err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0].PID != "b#1" {
+		t.Errorf("after Unregister: %+v", members)
+	}
+}
+
+func TestTraceEndpointBounds(t *testing.T) {
+	_, tr, ts := newTestServer(t)
+	for i := 0; i < 10; i++ {
+		tr.Append(obs.Event{Type: obs.EvInstall, PID: fmt.Sprintf("p%d", i)})
+	}
+
+	decode := func(body string) []obs.Event {
+		t.Helper()
+		var evs []obs.Event
+		if err := json.Unmarshal([]byte(body), &evs); err != nil {
+			t.Fatalf("decode: %v\n%s", err, body)
+		}
+		return evs
+	}
+
+	// Default tail: all 10 (fewer than DefaultTraceTail).
+	code, body := get(t, ts.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if evs := decode(body); len(evs) != 10 {
+		t.Errorf("default tail = %d events, want 10", len(evs))
+	}
+	// Explicit n: the MOST RECENT n, oldest first.
+	_, body = get(t, ts.URL+"/trace?n=3")
+	evs := decode(body)
+	if len(evs) != 3 || evs[0].PID != "p7" || evs[2].PID != "p9" {
+		t.Errorf("n=3 tail = %+v, want p7..p9", evs)
+	}
+	// n larger than the ring: everything, no error.
+	_, body = get(t, ts.URL+"/trace?n=1000")
+	if evs := decode(body); len(evs) != 10 {
+		t.Errorf("n=1000 tail = %d events, want 10", len(evs))
+	}
+	// n=0: empty list.
+	_, body = get(t, ts.URL+"/trace?n=0")
+	if evs := decode(body); len(evs) != 0 {
+		t.Errorf("n=0 tail = %d events, want 0", len(evs))
+	}
+	// Bad n: 400.
+	for _, q := range []string{"n=-1", "n=abc"} {
+		if code, _ := get(t, ts.URL+"/trace?"+q); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", q, code)
+		}
+	}
+}
+
+func TestTraceEndpointNilTracer(t *testing.T) {
+	s := NewHandler(obs.NewRegistry(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var evs []obs.Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(evs) != 0 {
+		t.Errorf("nil tracer served %d events", len(evs))
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+}
+
+func TestNewBindsAndCloses(t *testing.T) {
+	s, err := New(":0", obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	if code, _ := get(t, "http://"+addr+"/status"); code != http.StatusOK {
+		t.Fatalf("live server /status = %d", code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/status"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+func TestPollStatus(t *testing.T) {
+	s, _, ts := newTestServer(t)
+	client := &http.Client{Timeout: time.Second}
+
+	// No members: an explicit error report, not an empty slice.
+	reports := PollStatus(client, ts.URL)
+	if len(reports) != 1 || reports[0].Err == nil {
+		t.Fatalf("no-members poll = %+v", reports)
+	}
+
+	s.Register("a#1", Member{Status: func() core.Status { return testStatus("a#1", "v") }})
+	reports = PollStatus(client, ts.URL)
+	if len(reports) != 1 || reports[0].Err != nil || reports[0].Status.PID != "a#1" {
+		t.Fatalf("poll = %+v", reports)
+	}
+
+	// Unreachable endpoint: one error report.
+	reports = PollStatus(client, "127.0.0.1:1")
+	if len(reports) != 1 || reports[0].Err == nil {
+		t.Fatalf("unreachable poll = %+v", reports)
+	}
+}

@@ -1,0 +1,45 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// PollStatus scrapes one admin endpoint's /status and returns a report
+// per member it hosts. endpoint may be "host:port" or a full URL; a
+// failed poll yields a single report carrying the error, so callers
+// always get at least one report per endpoint and the monitor can
+// render the endpoint as unreachable. client controls timeouts.
+func PollStatus(client *http.Client, endpoint string) []MemberReport {
+	url := endpoint
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/status"
+
+	fail := func(err error) []MemberReport {
+		return []MemberReport{{Endpoint: endpoint, Err: err}}
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("status %s", resp.Status))
+	}
+	var members []MemberStatus
+	if err := json.NewDecoder(resp.Body).Decode(&members); err != nil {
+		return fail(fmt.Errorf("decode: %w", err))
+	}
+	if len(members) == 0 {
+		return fail(fmt.Errorf("no members registered"))
+	}
+	out := make([]MemberReport, 0, len(members))
+	for _, m := range members {
+		out = append(out, MemberReport{Endpoint: endpoint, Status: m})
+	}
+	return out
+}

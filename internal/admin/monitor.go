@@ -1,0 +1,224 @@
+package admin
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Default monitor thresholds. A view change legitimately leaves the
+// members' view ids disagreeing for a detection + agreement + flush
+// round, so the divergence grace window must comfortably exceed one;
+// the stuck threshold bounds how long an in-flight proposal may age
+// before the watcher calls it wedged.
+const (
+	DefaultGrace      = 3 * time.Second
+	DefaultStuck      = 5 * time.Second
+	DefaultStaleAfter = 2 * time.Second
+)
+
+// MemberReport is one polled member: its /status document plus how the
+// poll went. Endpoint identifies where it was scraped from (one
+// endpoint can yield several reports — vsbench groups). A non-nil Err
+// marks the whole report unreachable; Status is then meaningless.
+type MemberReport struct {
+	Endpoint string
+	Status   MemberStatus
+	Err      error
+}
+
+// Health is the monitor's verdict on one member.
+type Health struct {
+	PID      string
+	Endpoint string
+	Mode     string
+	ViewID   string
+	Size     int
+	Blocked  bool
+
+	// Unreachable: the poll failed (Err on the report).
+	Unreachable bool
+	// Stale: the member answered but its Status.AsOf is older than the
+	// staleness bound — its protocol loop has stopped publishing.
+	Stale bool
+	// Divergent: the member has disagreed with the group's majority
+	// view id for longer than the grace window. Brief disagreement
+	// during a view change is normal and not flagged.
+	Divergent bool
+	// DivergentFor is how long the disagreement has lasted (set as soon
+	// as disagreement is observed, before the grace window elapses).
+	DivergentFor time.Duration
+	// Stuck: the member has had a proposal in flight (blocked on an
+	// acked proposal, or coordinating an open round) for longer than
+	// the stuck threshold.
+	Stuck bool
+	// Detail is a short human-readable reason string for any flag set,
+	// empty when healthy.
+	Detail string
+}
+
+// Flagged reports whether any problem flag is set.
+func (h Health) Flagged() bool {
+	return h.Unreachable || h.Stale || h.Divergent || h.Stuck
+}
+
+// Assessment is one round's verdict over the whole group.
+type Assessment struct {
+	At      time.Time
+	Members []Health
+	// Views counts reachable members per advertised view id. One key =
+	// the group agrees; more = a view change in progress or a genuine
+	// divergence (see per-member Divergent for which).
+	Views map[string]int
+	// Majority is the most-subscribed view id (ties broken by lexical
+	// order, for determinism).
+	Majority string
+	// Healthy: every member reachable, fresh, agreed, and unstuck.
+	Healthy bool
+}
+
+// Monitor turns successive polling rounds into health verdicts. It is
+// stateful: divergence is only flagged once it has outlasted Grace, so
+// the monitor remembers when each member started disagreeing. Not safe
+// for concurrent use; drive it from one polling loop.
+type Monitor struct {
+	// Grace is how long a member may disagree with the majority view id
+	// before being flagged divergent (0 = DefaultGrace).
+	Grace time.Duration
+	// Stuck is the in-flight proposal age beyond which a member is
+	// flagged stuck (0 = DefaultStuck).
+	Stuck time.Duration
+	// StaleAfter is how old a Status.AsOf may be before the member is
+	// flagged stale (0 = DefaultStaleAfter; negative disables — useful
+	// in tests that replay canned reports with old timestamps).
+	StaleAfter time.Duration
+
+	divergedSince map[string]time.Time
+}
+
+func (m *Monitor) grace() time.Duration {
+	if m.Grace > 0 {
+		return m.Grace
+	}
+	return DefaultGrace
+}
+
+func (m *Monitor) stuck() time.Duration {
+	if m.Stuck > 0 {
+		return m.Stuck
+	}
+	return DefaultStuck
+}
+
+func (m *Monitor) staleAfter() time.Duration {
+	if m.StaleAfter != 0 {
+		return m.StaleAfter
+	}
+	return DefaultStaleAfter
+}
+
+// Assess folds one polling round into a verdict. now is the poll time
+// (pass time.Now() in production; tests pass fixed times).
+func (m *Monitor) Assess(now time.Time, reports []MemberReport) Assessment {
+	if m.divergedSince == nil {
+		m.divergedSince = make(map[string]time.Time)
+	}
+	a := Assessment{At: now, Views: make(map[string]int), Healthy: true}
+
+	// First pass: tally view ids among reachable members to find the
+	// majority opinion the divergence check compares against.
+	for _, r := range reports {
+		if r.Err == nil {
+			a.Views[r.Status.ViewID]++
+		}
+	}
+	for id, n := range a.Views {
+		if n > a.Views[a.Majority] || (n == a.Views[a.Majority] && (a.Majority == "" || id < a.Majority)) {
+			a.Majority = id
+		}
+	}
+
+	seen := make(map[string]bool, len(reports))
+	for _, r := range reports {
+		h := Health{Endpoint: r.Endpoint}
+		if r.Err != nil {
+			h.Unreachable = true
+			h.Detail = fmt.Sprintf("unreachable: %v", r.Err)
+			a.Members = append(a.Members, h)
+			a.Healthy = false
+			continue
+		}
+		st := r.Status
+		h.PID = st.PID
+		h.Mode = st.Mode
+		h.ViewID = st.ViewID
+		h.Size = st.Size
+		h.Blocked = st.Blocked
+		seen[st.PID] = true
+
+		if sa := m.staleAfter(); sa > 0 && !st.AsOf.IsZero() && now.Sub(st.AsOf) > sa {
+			h.Stale = true
+			h.Detail = joinDetail(h.Detail, fmt.Sprintf("stale: last published %s ago", now.Sub(st.AsOf).Round(time.Millisecond)))
+		}
+
+		if st.ViewID != a.Majority {
+			since, ok := m.divergedSince[st.PID]
+			if !ok {
+				since = now
+				m.divergedSince[st.PID] = since
+			}
+			h.DivergentFor = now.Sub(since)
+			if h.DivergentFor >= m.grace() {
+				h.Divergent = true
+				h.Detail = joinDetail(h.Detail, fmt.Sprintf("diverged: view %s vs majority %s for %s",
+					st.ViewID, a.Majority, h.DivergentFor.Round(time.Millisecond)))
+			}
+		} else {
+			delete(m.divergedSince, st.PID)
+		}
+
+		if st.ProposalAge > m.stuck() && (st.Blocked || st.Coordinating) {
+			h.Stuck = true
+			h.Detail = joinDetail(h.Detail, fmt.Sprintf("stuck: proposal %s in flight for %s",
+				stuckProposal(st), st.ProposalAge.Round(time.Millisecond)))
+		}
+
+		if h.Flagged() {
+			a.Healthy = false
+		}
+		a.Members = append(a.Members, h)
+	}
+
+	// Forget divergence anchors for members that vanished, so a PID
+	// that later reappears starts a fresh grace window.
+	for pid := range m.divergedSince {
+		if !seen[pid] {
+			delete(m.divergedSince, pid)
+		}
+	}
+
+	sort.Slice(a.Members, func(i, j int) bool {
+		if a.Members[i].PID != a.Members[j].PID {
+			return a.Members[i].PID < a.Members[j].PID
+		}
+		return a.Members[i].Endpoint < a.Members[j].Endpoint
+	})
+	return a
+}
+
+func stuckProposal(st MemberStatus) string {
+	if st.AckedProposal != "" {
+		return st.AckedProposal
+	}
+	if st.CoordProposal != "" {
+		return st.CoordProposal
+	}
+	return "?"
+}
+
+func joinDetail(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "; " + b
+}

@@ -1,0 +1,169 @@
+package admin
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func report(pid, view string, asOf time.Time) MemberReport {
+	return MemberReport{
+		Endpoint: "ep-" + pid,
+		Status: MemberStatus{Status: core.Status{
+			PID: pid, ViewID: view, Size: 3, AsOf: asOf,
+		}},
+	}
+}
+
+func findMember(t *testing.T, a Assessment, pid string) Health {
+	t.Helper()
+	for _, h := range a.Members {
+		if h.PID == pid {
+			return h
+		}
+	}
+	t.Fatalf("no member %s in %+v", pid, a.Members)
+	return Health{}
+}
+
+// TestMonitorDivergenceGrace: view-id disagreement is only flagged
+// once it outlasts the grace window, and heals (and resets the window)
+// when the member rejoins the majority.
+func TestMonitorDivergenceGrace(t *testing.T) {
+	m := &Monitor{Grace: time.Second, StaleAfter: -1}
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	round := func(now time.Time, cView string) Assessment {
+		return m.Assess(now, []MemberReport{
+			report("a#1", "v1", now),
+			report("b#1", "v1", now),
+			report("c#1", cView, now),
+		})
+	}
+
+	// First observation of disagreement: within grace, not flagged,
+	// but the duration is already reported.
+	a := round(t0, "v0")
+	if a.Majority != "v1" {
+		t.Fatalf("majority = %q, want v1", a.Majority)
+	}
+	h := findMember(t, a, "c#1")
+	if h.Divergent || h.DivergentFor != 0 {
+		t.Errorf("first round: %+v, want not yet divergent", h)
+	}
+	if !a.Healthy {
+		t.Errorf("first round should still be healthy: %+v", a)
+	}
+
+	// Still disagreeing short of the window: not flagged.
+	h = findMember(t, round(t0.Add(900*time.Millisecond), "v0"), "c#1")
+	if h.Divergent {
+		t.Errorf("within grace: %+v", h)
+	}
+	if h.DivergentFor != 900*time.Millisecond {
+		t.Errorf("DivergentFor = %v, want 900ms", h.DivergentFor)
+	}
+
+	// Past the window: flagged, group unhealthy.
+	a = round(t0.Add(1100*time.Millisecond), "v0")
+	h = findMember(t, a, "c#1")
+	if !h.Divergent || a.Healthy {
+		t.Errorf("past grace: %+v healthy=%v", h, a.Healthy)
+	}
+
+	// Healed: flag clears and the anchor resets — a fresh disagreement
+	// starts a fresh window.
+	a = round(t0.Add(2*time.Second), "v1")
+	if h := findMember(t, a, "c#1"); h.Divergent || !a.Healthy {
+		t.Errorf("healed: %+v healthy=%v", h, a.Healthy)
+	}
+	h = findMember(t, round(t0.Add(3*time.Second), "v2"), "c#1")
+	if h.Divergent || h.DivergentFor != 0 {
+		t.Errorf("fresh disagreement reuses old anchor: %+v", h)
+	}
+}
+
+// TestMonitorStuckProposal: a blocked member (or a coordinator with an
+// open round) whose proposal age crosses the threshold is flagged.
+func TestMonitorStuckProposal(t *testing.T) {
+	m := &Monitor{Stuck: time.Second, StaleAfter: -1}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	blocked := report("a#1", "v1", now)
+	blocked.Status.Blocked = true
+	blocked.Status.AckedProposal = "v2"
+	blocked.Status.ProposalAge = 2 * time.Second
+
+	coord := report("b#1", "v1", now)
+	coord.Status.Coordinating = true
+	coord.Status.CoordProposal = "v2"
+	coord.Status.ProposalAge = 1500 * time.Millisecond
+
+	fresh := report("c#1", "v1", now)
+	fresh.Status.Blocked = true
+	fresh.Status.AckedProposal = "v2"
+	fresh.Status.ProposalAge = 200 * time.Millisecond
+
+	a := m.Assess(now, []MemberReport{blocked, coord, fresh})
+	if h := findMember(t, a, "a#1"); !h.Stuck {
+		t.Errorf("blocked member not flagged: %+v", h)
+	}
+	if h := findMember(t, a, "b#1"); !h.Stuck {
+		t.Errorf("coordinator not flagged: %+v", h)
+	}
+	if h := findMember(t, a, "c#1"); h.Stuck {
+		t.Errorf("fresh proposal flagged: %+v", h)
+	}
+	if a.Healthy {
+		t.Error("assessment healthy despite stuck members")
+	}
+}
+
+// TestMonitorUnreachableAndStale: fetch errors and stopped-publishing
+// members are flagged; a negative StaleAfter disables the staleness
+// check for replayed reports.
+func TestMonitorUnreachableAndStale(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	m := &Monitor{StaleAfter: time.Second}
+	stale := report("a#1", "v1", now.Add(-5*time.Second))
+	down := MemberReport{Endpoint: "ep-x", Err: errors.New("connection refused")}
+	a := m.Assess(now, []MemberReport{stale, down, report("b#1", "v1", now)})
+	if h := findMember(t, a, "a#1"); !h.Stale {
+		t.Errorf("stale member not flagged: %+v", h)
+	}
+	var unreachable *Health
+	for i := range a.Members {
+		if a.Members[i].Unreachable {
+			unreachable = &a.Members[i]
+		}
+	}
+	if unreachable == nil || unreachable.Endpoint != "ep-x" {
+		t.Errorf("no unreachable row for ep-x: %+v", a.Members)
+	}
+	if a.Healthy {
+		t.Error("assessment healthy despite stale + unreachable")
+	}
+
+	off := &Monitor{StaleAfter: -1}
+	a = off.Assess(now, []MemberReport{stale, report("b#1", "v1", now)})
+	if h := findMember(t, a, "a#1"); h.Stale {
+		t.Errorf("StaleAfter<0 still flagged: %+v", h)
+	}
+}
+
+// TestMonitorMajorityTieBreak: equal view-id camps resolve to the
+// lexically smallest id, deterministically.
+func TestMonitorMajorityTieBreak(t *testing.T) {
+	m := &Monitor{StaleAfter: -1}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	a := m.Assess(now, []MemberReport{
+		report("a#1", "vB", now),
+		report("b#1", "vA", now),
+	})
+	if a.Majority != "vA" {
+		t.Errorf("majority = %q, want vA (lexical tie-break)", a.Majority)
+	}
+}

@@ -1,0 +1,115 @@
+// Scrape-perturbation benchmark: the acceptance bar for the admin
+// endpoint is that polling /metrics at 10 Hz perturbs E1-style
+// view-change agree p95 by under 5%. Run both and compare:
+//
+//	go test ./internal/admin -bench AgreeP95 -benchtime 30x
+//
+// Each iteration is one forced suspect/recover view-change cycle on a
+// 5-member simnet group; the benchmark reports the agree-phase p95
+// across all cycles as agree-p95-ms. The scraping variant hammers
+// /metrics and /status at 10 Hz for the whole run.
+package admin_test
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/admin"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/simnet"
+	"repro/internal/stable"
+	"repro/internal/vstest"
+)
+
+func benchAgreeP95(b *testing.B, scrapeEvery time.Duration) {
+	const n = 5
+	fabric := simnet.New(simnet.Config{Seed: 42})
+	defer fabric.Close()
+	reg := stable.NewRegistry()
+
+	metrics := obs.NewRegistry()
+	sink := obs.NewMemorySink()
+	tracer := obs.NewTracer(0, sink)
+	opts := vstest.FastOptions()
+	opts.Observer = obs.NewCollector(metrics, tracer)
+
+	srv, err := admin.New("127.0.0.1:0", metrics, tracer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	procs := make([]*core.Process, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := core.Start(fabric, reg, vstest.SiteName(i), opts)
+		if err != nil {
+			b.Fatalf("Start: %v", err)
+		}
+		defer p.Crash()
+		go func(p *core.Process) {
+			for range p.Events() {
+			}
+		}(p)
+		srv.Register(p.PID().String(), admin.Member{Status: p.StatusSnapshot})
+		procs = append(procs, p)
+	}
+	vstest.WaitConverged(b, procs, 30*time.Second)
+
+	// The scraper plays the role of a Prometheus server plus a vsmon
+	// instance pointed at this process.
+	stopScrape := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	if scrapeEvery > 0 {
+		go func() {
+			defer close(scrapeDone)
+			client := &http.Client{Timeout: time.Second}
+			tick := time.NewTicker(scrapeEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				case <-tick.C:
+					for _, path := range []string{"/metrics", "/status"} {
+						resp, err := client.Get("http://" + srv.Addr() + path)
+						if err != nil {
+							continue
+						}
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	} else {
+		close(scrapeDone)
+	}
+
+	victim := procs[n-1]
+	others := procs[:n-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range others {
+			_ = p.ForceSuspect(victim.PID())
+		}
+		vstest.WaitConverged(b, others, 30*time.Second)
+		for _, p := range others {
+			_ = p.Unforce(victim.PID())
+		}
+		vstest.WaitConverged(b, procs, 30*time.Second)
+	}
+	b.StopTimer()
+	close(stopScrape)
+	<-scrapeDone
+
+	prof := profile.FromEvents(sink.Events())
+	b.ReportMetric(float64(prof.Phases.Agree.P95)/float64(time.Millisecond), "agree-p95-ms")
+	b.ReportMetric(float64(prof.Phases.Total.P95)/float64(time.Millisecond), "total-p95-ms")
+}
+
+func BenchmarkAgreeP95Baseline(b *testing.B)   { benchAgreeP95(b, 0) }
+func BenchmarkAgreeP95Scrape10Hz(b *testing.B) { benchAgreeP95(b, 100*time.Millisecond) }

@@ -230,6 +230,15 @@ type ExtendedObserver interface {
 	OnPacket(self ids.PID, kind string, size int, sent bool)
 	// OnTick reports the duration of one protocol housekeeping tick.
 	OnTick(self ids.PID, d time.Duration)
+	// OnLoopHealth reports per-tick event-loop health: queued is the
+	// application event-queue depth at the tick (events pushed but not
+	// yet consumed from Process.Events), lag how much later than the
+	// configured Tick period the tick fired (zero when on schedule). A
+	// growing queue means the application is not draining its events; a
+	// persistent lag means the loop (or the host) is overloaded —
+	// exactly the two ways a live process degrades without any protocol
+	// counter moving.
+	OnLoopHealth(self ids.PID, queued int, lag time.Duration)
 	// OnMergeRequest fires when the application submits a subview or
 	// sv-set merge; the matching OnEChange marks its completion.
 	OnMergeRequest(self ids.PID, kind EChangeKind)

@@ -616,6 +616,7 @@ func (m *machine) startProposal(comp ids.PIDSet, now time.Time, retry bool) {
 		comp:     comp.Clone(),
 		acks:     make(map[ids.PID]pktAck, len(comp)),
 		deadline: now.Add(m.p.opts.ProposeTimeout),
+		since:    now,
 	}
 	m.p.bumpStat(func(s *Stats) {
 		s.ProposalsSent++
@@ -658,6 +659,9 @@ func (m *machine) onPropose(pr pktPropose) {
 		m.coord = nil
 	}
 	m.ackedProp = pr.Proposal
+	if !m.blocked {
+		m.blockedSince = time.Now()
+	}
 	m.blocked = true
 	if m.p.tobs != nil {
 		m.p.tobs.OnBlock(m.p.pid, pr.Proposal)
@@ -828,6 +832,7 @@ func (m *machine) onInstall(inst pktInstall) {
 	m.peerVC = make(map[ids.PID]clock.Vector)
 	m.echApplied = 0
 	m.blocked = false
+	m.blockedSince = time.Time{}
 	m.ackedProp = ids.ViewID{}
 	m.mismatch = 0
 	// Cache the install (with its flush retransmission bodies) so the

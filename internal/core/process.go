@@ -77,6 +77,9 @@ type Process struct {
 	mu    sync.Mutex
 	cur   EView
 	stats Stats
+	// status is the loop's most recently published introspection
+	// snapshot (see StatusSnapshot); refreshed every tick.
+	status Status
 
 	m machine // protocol state; loop-goroutine confined after Start
 }
@@ -327,6 +330,10 @@ func (p *Process) run() {
 	tick := time.NewTicker(p.opts.Tick)
 	defer tick.Stop()
 
+	// lastTick drives the tick-lag health gauge: how much later than
+	// the configured period each housekeeping tick actually fired.
+	var lastTick time.Time
+
 	p.m.sendHeartbeat()
 	for {
 		select {
@@ -335,12 +342,21 @@ func (p *Process) run() {
 		case <-hb.C:
 			p.m.sendHeartbeat()
 		case <-tick.C:
+			start := time.Now()
+			var lag time.Duration
+			if !lastTick.IsZero() {
+				if lag = start.Sub(lastTick) - p.opts.Tick; lag < 0 {
+					lag = 0
+				}
+			}
+			lastTick = start
+			p.m.onTick(start)
+			if now := time.Now(); now.Sub(p.m.lastPublish) >= statusEvery {
+				p.m.publishStatus(now, lag)
+			}
 			if p.tobs != nil {
-				start := time.Now()
-				p.m.onTick(start)
 				p.tobs.OnTick(p.pid, time.Since(start))
-			} else {
-				p.m.onTick(time.Now())
+				p.tobs.OnLoopHealth(p.pid, p.events.Len(), lag)
 			}
 		case <-p.ep.Wait():
 			for {
@@ -392,10 +408,13 @@ type machine struct {
 	echApplied   uint32
 	nextSeq      uint64
 
-	blocked   bool
-	ackedProp ids.ViewID
-	outbox    [][]byte
-	future    map[ids.ViewID][]causalPkt
+	blocked bool
+	// blockedSince anchors the in-flight proposal age Status reports:
+	// set when blocked flips true, zeroed at install.
+	blockedSince time.Time
+	ackedProp    ids.ViewID
+	outbox       [][]byte
+	future       map[ids.ViewID][]causalPkt
 
 	maxEpoch      uint64
 	peerView      map[ids.PID]ids.ViewID
@@ -417,6 +436,12 @@ type machine struct {
 	reconAttempts map[ids.PID]int
 	reconHold     int
 
+	// lastPublish throttles tick-path status publication (building a
+	// Status formats the whole view, a real cost at millisecond
+	// ticks); installs and the initial bootstrap publish immediately.
+	// Loop-goroutine only.
+	lastPublish time.Time
+
 	coord *coordState
 }
 
@@ -425,6 +450,9 @@ type coordState struct {
 	comp     ids.PIDSet
 	acks     map[ids.PID]pktAck
 	deadline time.Time
+	// since is when this round opened; Status reports its age at a
+	// coordinator that is not itself blocked.
+	since time.Time
 }
 
 func (m *machine) init(p *Process) {
@@ -493,6 +521,9 @@ func (m *machine) installBootstrap(v EView) {
 	ev := ViewEvent{EView: v}
 	m.p.obs.OnView(m.p.pid, ev)
 	m.p.events.Push(ev)
+	// Publish an initial status so StatusSnapshot answers before the
+	// first housekeeping tick.
+	m.publishStatus(time.Now(), 0)
 }
 
 func (m *machine) persistView(v EView) {

@@ -93,7 +93,11 @@ func (q *Queue[T]) Pop() (T, bool) {
 // re-check with TryPop.
 func (q *Queue[T]) Wait() <-chan struct{} { return q.notify }
 
-// Len returns the number of queued items.
+// Len returns the number of queued items. It is O(1) — a mutex
+// acquisition and a slice length read, never a scan — so the protocol
+// loop can sample it on every housekeeping tick as the queue-depth
+// health gauge (core.ExtendedObserver.OnLoopHealth) without affecting
+// the tick budget.
 func (q *Queue[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()

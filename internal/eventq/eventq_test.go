@@ -1,6 +1,7 @@
 package eventq
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -198,5 +199,62 @@ func TestFIFOProperty(t *testing.T) {
 	cfg := &quick.Config{Rand: rand.New(rand.NewSource(3)), MaxCount: 100}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New[int]()
+	if q.Len() != 0 {
+		t.Fatalf("empty queue Len = %d, want 0", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+		if got := q.Len(); got != i+1 {
+			t.Fatalf("after %d pushes: Len = %d", i+1, got)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, ok := q.TryPop(); !ok {
+			t.Fatalf("TryPop %d failed", i)
+		}
+	}
+	if got := q.Len(); got != 60 {
+		t.Fatalf("after 100 pushes and 40 pops: Len = %d, want 60", got)
+	}
+	q.Close()
+	// Close does not drop queued items, so Len is unchanged...
+	if got := q.Len(); got != 60 {
+		t.Fatalf("after Close: Len = %d, want 60", got)
+	}
+	// ...and a Push to a closed queue is a no-op for Len too.
+	if q.Push(7) {
+		t.Fatal("Push succeeded on closed queue")
+	}
+	if got := q.Len(); got != 60 {
+		t.Fatalf("after Push on closed queue: Len = %d, want 60", got)
+	}
+	q.Drain()
+	if got := q.Len(); got != 0 {
+		t.Fatalf("after Drain: Len = %d, want 0", got)
+	}
+}
+
+// BenchmarkLen pins down that Len is O(1) regardless of queue depth:
+// it is sampled every protocol tick as the queue-depth health gauge,
+// so it must not scan.
+func BenchmarkLen(b *testing.B) {
+	for _, depth := range []int{0, 1 << 10, 1 << 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			q := New[int]()
+			for i := 0; i < depth; i++ {
+				q.Push(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if q.Len() != depth {
+					b.Fatal("bad length")
+				}
+			}
+		})
 	}
 }

@@ -493,3 +493,32 @@ func dedupSubviews(svs []ids.SubviewID) []ids.SubviewID {
 	}
 	return out
 }
+
+// Summary renders the subview/sv-set grouping canonically and
+// identifier-free: sv-sets joined by "|", subviews within an sv-set by
+// "+", sorted member PIDs within a subview by "," — e.g. "a#1,b#1+c#1|d#1"
+// for {{a,b},{c}} in one sv-set and {{d}} in another. This is the
+// grouping P6.3 preserves across views (the view-scoped identifiers are
+// deliberately absent), shared by the trace encoding (obs.Event.Struct)
+// and the live status endpoint (core.Status.Structure) so offline and
+// live views of a structure compare byte-for-byte.
+func (s Structure) Summary() string {
+	var b strings.Builder
+	for i, ss := range s.SVSets() {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, sv := range s.SVSetSubviews(ss) {
+			if j > 0 {
+				b.WriteByte('+')
+			}
+			for k, p := range s.SubviewMembers(sv).Sorted() {
+				if k > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(p.String())
+			}
+		}
+	}
+	return b.String()
+}

@@ -40,6 +40,13 @@ type Timing struct {
 	// Experiments built on simulator-only models keep using sim
 	// regardless: E3 (receiver bandwidth) and E7 (delay jitter).
 	Transport string
+	// OnStart, when non-nil, fires for every process an experiment
+	// starts, immediately after core.Start succeeds. The admin endpoint
+	// registers members here (vsbench/vstrace -admin) so live /status
+	// covers the whole group without each experiment knowing about it.
+	// Processes are not unregistered on crash/leave: a dead member's
+	// stale snapshot is itself a signal (vsmon flags it stale).
+	OnStart func(p *core.Process)
 }
 
 // FastTiming is the default simulation-speed profile. It is the single
@@ -80,6 +87,18 @@ func (t Timing) Options(group string, enriched bool) core.Options {
 		LogViews:       true,
 		Observer:       t.Observer,
 	}
+}
+
+// Start boots one process through core.Start and reports it to the
+// OnStart hook. Experiments start every member through it (rather
+// than calling core.Start directly) so that an installed hook sees
+// the whole group.
+func (t Timing) Start(tr transport.Transport, reg *stable.Registry, site string, opts core.Options) (*core.Process, error) {
+	p, err := core.Start(tr, reg, site, opts)
+	if err == nil && t.OnStart != nil {
+		t.OnStart(p)
+	}
+	return p, err
 }
 
 // NetFabric is what experiments need from a network backend: the

@@ -39,7 +39,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 		opts := timing.Options("e1", true)
 		opts.SingleJoin = singleJoin
 
-		anchor, err := core.Start(e.fabric, e.reg, "anchor", opts)
+		anchor, err := timing.Start(e.fabric, e.reg, "anchor", opts)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -54,7 +54,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 		procs := []*core.Process{anchor}
 		start := time.Now()
 		for i := 0; i < m; i++ {
-			p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+			p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -91,7 +91,7 @@ func RunE1(m int, timing Timing, seed int64) (E1Row, error) {
 	var procs []*core.Process
 	var leftSites, rightSites []string
 	for i := 0; i < 2*m; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}

@@ -62,7 +62,7 @@ func RunE10(backend string, msgs int, timing Timing, seed int64) (E10Row, error)
 	const n = 3
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}

@@ -68,7 +68,7 @@ func RunE2(n int, timing Timing, seed int64) (E2Row, error) {
 		procs   []*core.Process
 		mergedC = make(chan struct{}, 16)
 	)
-	observer, err := core.Start(e.fabric, e.reg, sites[0], opts)
+	observer, err := timing.Start(e.fabric, e.reg, sites[0], opts)
 	if err != nil {
 		return row, err
 	}
@@ -93,7 +93,7 @@ func RunE2(n int, timing Timing, seed int64) (E2Row, error) {
 	// Peers: every peer answers classification rounds by announcing its
 	// predecessor info at each view change (the flat protocol).
 	for i := 1; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, sites[i], opts)
+		p, err := timing.Start(e.fabric, e.reg, sites[i], opts)
 		if err != nil {
 			return row, err
 		}

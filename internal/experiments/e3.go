@@ -85,11 +85,11 @@ func RunE3(stateBytes int, strategy transfer.Strategy, timing Timing, seed int64
 	}
 	opts := timing.Options("e3", true)
 
-	donor, err := core.Start(e.fabric, e.reg, "donor", opts)
+	donor, err := timing.Start(e.fabric, e.reg, "donor", opts)
 	if err != nil {
 		return row, err
 	}
-	joiner, err := core.Start(e.fabric, e.reg, "joiner", opts)
+	joiner, err := timing.Start(e.fabric, e.reg, "joiner", opts)
 	if err != nil {
 		return row, err
 	}

@@ -75,7 +75,7 @@ func e4Transfer(timing Timing, seed int64) (E4Row, error) {
 
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}
@@ -122,7 +122,7 @@ func e4Creation(timing Timing, seed int64) (E4Row, error) {
 
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}
@@ -138,7 +138,7 @@ func e4Creation(timing Timing, seed int64) (E4Row, error) {
 	time.Sleep(50 * time.Millisecond)
 	recovered := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}
@@ -170,7 +170,7 @@ func e4Merging(timing Timing, seed int64, withJoiner bool) (E4Row, error) {
 
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}
@@ -185,7 +185,7 @@ func e4Merging(timing Timing, seed int64, withJoiner bool) (E4Row, error) {
 	}
 	all := procs
 	if withJoiner {
-		j, err := core.Start(e.fabric, e.reg, "joiner", opts)
+		j, err := timing.Start(e.fabric, e.reg, "joiner", opts)
 		if err != nil {
 			return row, err
 		}

@@ -41,7 +41,7 @@ func RunE5(n int, enriched bool, timing Timing, seed int64) (E5Row, error) {
 	procs := make([]*core.Process, 0, n)
 	var delivered int64
 	for i := 0; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}
@@ -102,7 +102,7 @@ func RunE5(n int, enriched bool, timing Timing, seed int64) (E5Row, error) {
 
 	// Join latency: one fresh member.
 	joinStart := time.Now()
-	j, err := core.Start(e.fabric, e.reg, "late", opts)
+	j, err := timing.Start(e.fabric, e.reg, "late", opts)
 	if err != nil {
 		return row, err
 	}

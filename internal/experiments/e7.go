@@ -82,7 +82,7 @@ func RunE7(jitter, window time.Duration, adaptive bool, timing Timing, seed int6
 	const n = 5
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(fabric, reg, siteName(i), opts)
+		p, err := timing.Start(fabric, reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}

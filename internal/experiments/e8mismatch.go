@@ -77,7 +77,7 @@ func RunE8Mismatch(cycles int, reconcile bool, timing Timing, seed int64) (E8Mis
 	const n = 5
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(filt, e.reg, siteName(i), opts)
+		p, err := timing.Start(filt, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}

@@ -155,7 +155,7 @@ func RunF2(timing Timing, seed int64) ([]F2Row, int, error) {
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
 		sites[i] = siteName(i)
-		p, err := core.Start(e.fabric, e.reg, sites[i], opts)
+		p, err := timing.Start(e.fabric, e.reg, sites[i], opts)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -243,7 +243,7 @@ func RunF3(n int, timing Timing, seed int64) (F3Row, error) {
 
 	procs := make([]*core.Process, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := core.Start(e.fabric, e.reg, siteName(i), opts)
+		p, err := timing.Start(e.fabric, e.reg, siteName(i), opts)
 		if err != nil {
 			return row, err
 		}

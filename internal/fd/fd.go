@@ -183,6 +183,19 @@ func (d *Detector) Suspects(p ids.PID, now time.Time) bool {
 	return now.Sub(t) > d.TimeoutFor(p)
 }
 
+// SilentFor returns how long p has been silent at time now — the gap
+// since its last liveness indication — and whether p has been heard
+// from at all. Live introspection (core.StatusSnapshot) reports it
+// alongside the effective timeout so an operator sees how close each
+// peer is to suspicion, not just the boolean verdict.
+func (d *Detector) SilentFor(p ids.PID, now time.Time) (time.Duration, bool) {
+	t, ok := d.lastHeard[p]
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(t), true
+}
+
 // Known returns every peer the detector has ever heard from and not
 // forgotten, regardless of suspicion.
 func (d *Detector) Known() ids.PIDSet {

@@ -47,13 +47,24 @@ const (
 
 	// Gauges.
 	MetricGroupSize = "group.size"
+	// MetricEventQueueDepth is the application event-queue depth
+	// sampled at each housekeeping tick (see
+	// core.ExtendedObserver.OnLoopHealth). With several processes
+	// sharing one collector the gauge holds the most recent sample from
+	// any of them; per-process depth lives in core.Status.
+	MetricEventQueueDepth = "eventq.depth"
 
 	// Histograms (values in seconds).
 	MetricViewChangeLatency = "view.change_latency_s"
 	MetricEChangeLatency    = "echange.latency_s"
 	MetricFlushDuration     = "flush.duration_s"
 	MetricTickDuration      = "tick.duration_s"
-	MetricHeartbeatGap      = "fd.heartbeat_gap_s"
+	// MetricTickLag records how much later than the configured period
+	// each housekeeping tick fired — the event-loop overload signal
+	// (OnLoopHealth), as opposed to MetricTickDuration which times the
+	// tick's own work.
+	MetricTickLag      = "loop.tick_lag_s"
+	MetricHeartbeatGap = "fd.heartbeat_gap_s"
 	// MetricFDEffectiveTimeout records every adaptive-timeout update
 	// (one observation per heartbeat-gap sample on processes running
 	// with Options.AdaptiveFD).
@@ -100,10 +111,12 @@ type Collector struct {
 	delivered      *Counter
 	flushDelivered *Counter
 	groupSize      *Gauge
+	eventqDepth    *Gauge
 	viewLatency    *Histogram
 	echLatency     *Histogram
 	flushDuration  *Histogram
 	tickDuration   *Histogram
+	tickLag        *Histogram
 	heartbeatGap   *Histogram
 	effTimeout     *Histogram
 
@@ -163,10 +176,12 @@ func NewCollector(reg *Registry, tr *Tracer) *Collector {
 		delivered:      reg.Counter(MetricDelivered),
 		flushDelivered: reg.Counter(MetricFlushDelivered),
 		groupSize:      reg.Gauge(MetricGroupSize),
+		eventqDepth:    reg.Gauge(MetricEventQueueDepth),
 		viewLatency:    reg.Histogram(MetricViewChangeLatency, LatencyBuckets),
 		echLatency:     reg.Histogram(MetricEChangeLatency, LatencyBuckets),
 		flushDuration:  reg.Histogram(MetricFlushDuration, DurationBuckets),
 		tickDuration:   reg.Histogram(MetricTickDuration, DurationBuckets),
+		tickLag:        reg.Histogram(MetricTickLag, DurationBuckets),
 		heartbeatGap:   reg.Histogram(MetricHeartbeatGap, GapBuckets),
 		effTimeout:     reg.Histogram(MetricFDEffectiveTimeout, GapBuckets),
 		sent:           make(map[string]*kindCounters),
@@ -381,6 +396,13 @@ func (c *Collector) OnTick(_ ids.PID, d time.Duration) {
 	c.tickDuration.ObserveDuration(d)
 }
 
+// OnLoopHealth implements core.ExtendedObserver: the event-queue depth
+// gauge and the tick-lag histogram. Not traced — it fires every tick.
+func (c *Collector) OnLoopHealth(_ ids.PID, queued int, lag time.Duration) {
+	c.eventqDepth.Set(int64(queued))
+	c.tickLag.ObserveDuration(lag)
+}
+
 // OnMergeRequest implements core.ExtendedObserver: opens the e-change
 // latency window closed by OnEChange.
 func (c *Collector) OnMergeRequest(self ids.PID, _ core.EChangeKind) {
@@ -569,6 +591,12 @@ func (t *teeExt) OnPacket(self ids.PID, kind string, size int, sent bool) {
 func (t *teeExt) OnTick(self ids.PID, d time.Duration) {
 	for _, o := range t.ext {
 		o.OnTick(self, d)
+	}
+}
+
+func (t *teeExt) OnLoopHealth(self ids.PID, queued int, lag time.Duration) {
+	for _, o := range t.ext {
+		o.OnLoopHealth(self, queued, lag)
 	}
 }
 

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric followed by its
+// samples, names sorted, histograms rendered with cumulative `le`
+// buckets plus the `_sum` and `_count` series. The whole exposition is
+// rendered from one Snapshot, so every line of one scrape is mutually
+// consistent the way Snapshot guarantees.
+//
+// Metric names in this repo are dotted ("view.change_latency_s");
+// Prometheus names admit only [a-zA-Z0-9_:], so dots and any other
+// illegal runes become underscores ("view_change_latency_s"). The
+// mapping is not injective in general; the Collector's name constants
+// never collide under it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, r.Snapshot())
+}
+
+// WritePrometheus renders an already-taken snapshot; Registry.
+// WritePrometheus is the common entry point.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, s)
+}
+
+func writePrometheus(w io.Writer, s Snapshot) error {
+	// One sorted pass per metric family keeps the exposition stable
+	// across scrapes — parsers don't require it, but diffing does.
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePromHistogram(w, promName(name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	// Bucket counts are stored per bucket; the exposition wants them
+	// cumulative, ending at the mandatory le="+Inf" == _count.
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if len(h.Counts) > 0 {
+		cum += h.Counts[len(h.Counts)-1]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count)
+	return err
+}
+
+// promName maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z0-9_:], replacing every other rune with '_' and prefixing a
+// leading digit.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with the IEEE specials spelled +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

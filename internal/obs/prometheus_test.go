@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks the exposition format down against a
+// registry with one of each metric family: counters and gauges as
+// single samples, histograms as cumulative le-buckets plus
+// _sum/_count, names sanitized to the Prometheus charset, sections
+// ordered counters → gauges → histograms with names sorted within
+// each.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("view.installs").Add(3)
+	r.Gauge("group.size").Set(5)
+	h := r.Histogram("tick.duration_s", []float64{0.001, 0.01})
+	h.Observe(0.0005) // bucket le=0.001
+	h.Observe(0.002)  // bucket le=0.01
+	h.Observe(99)     // overflow → only +Inf
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE view_installs counter
+view_installs 3
+# TYPE group_size gauge
+group_size 5
+# TYPE tick_duration_s histogram
+tick_duration_s_bucket{le="0.001"} 1
+tick_duration_s_bucket{le="0.01"} 2
+tick_duration_s_bucket{le="+Inf"} 3
+tick_duration_s_sum 99.0025
+tick_duration_s_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusConsistency: the exposition is rendered from one
+// Snapshot, so a histogram's _count equals its +Inf bucket and the
+// per-kind counter families show up with sanitized dotted names.
+func TestWritePrometheusConsistency(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkts.sent.hb").Add(7)
+	r.Counter("pkts.sent.data").Add(2)
+	h := r.Histogram("view.change_latency_s", LatencyBuckets)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) * 0.01)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"pkts_sent_hb 7",
+		"pkts_sent_data 2",
+		`view_change_latency_s_bucket{le="+Inf"} 10`,
+		"view_change_latency_s_count 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No dots may survive sanitization outside label values.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.FieldsFunc(line, func(r rune) bool { return r == '{' || r == ' ' })[0]
+		if strings.Contains(name, ".") {
+			t.Errorf("unsanitized metric name %q", name)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"view.installs":     "view_installs",
+		"mode.dwell_s.N":    "mode_dwell_s_N",
+		"9lives":            "_9lives",
+		"ok_name:total":     "ok_name:total",
+		"weird-chars here!": "weird_chars_here_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 	"time"
 
@@ -109,27 +108,10 @@ type Event struct {
 // deliberately free of the view-scoped subview/sv-set identifiers:
 // P6.3 preserves the grouping across views, never the identifiers, and
 // the grouping is also what survives a seed change (trace diffing
-// compares Struct directly).
-func StructureSummary(s evs.Structure) string {
-	var b strings.Builder
-	for i, ss := range s.SVSets() {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		for j, sv := range s.SVSetSubviews(ss) {
-			if j > 0 {
-				b.WriteByte('+')
-			}
-			for k, p := range s.SubviewMembers(sv).Sorted() {
-				if k > 0 {
-					b.WriteByte(',')
-				}
-				b.WriteString(p.String())
-			}
-		}
-	}
-	return b.String()
-}
+// compares Struct directly). The rendering lives on evs.Structure
+// (Summary) so the live status endpoint shares it; this wrapper remains
+// the trace-facing name.
+func StructureSummary(s evs.Structure) string { return s.Summary() }
 
 // Sink receives every event appended to a Tracer, synchronously and in
 // order (the tracer serializes emission under its lock). Sinks must not

@@ -59,6 +59,29 @@ type ViewRow struct {
 	Bootstrap bool
 }
 
+// MemberRow aggregates one member's passages through the trace's view
+// changes: its per-phase latency distributions and how often it was the
+// member the rest of the group waited for. A member with a large
+// CritViews share and a fat Agree/Flush tail is the group's consistent
+// straggler — the ROADMAP's "who gates the install" question answered
+// per member instead of per view.
+type MemberRow struct {
+	PID string
+	// Spans is the number of closed, non-bootstrap spans this member
+	// contributed (its sample count for the distributions below).
+	Spans int
+	// Per-phase latency distributions over this member's spans.
+	Detect, Agree, Flush, Install, Total Dist
+	// CritViews counts the views whose install this member's ack gated
+	// (ViewRow.CritPID); AckViews is the number of views that carried
+	// ack information at all, so CritViews/AckViews is this member's
+	// share of the critical path.
+	CritViews int
+	// Coordinated counts the views whose winning proposal this member
+	// coordinated.
+	Coordinated int
+}
+
 // Dist is an empirical latency distribution summary.
 type Dist struct {
 	Count         int
@@ -86,6 +109,11 @@ type Report struct {
 	Views []ViewRow
 	// Phases aggregates phase durations across member spans.
 	Phases PhaseDist
+	// Members aggregates the same spans per member, sorted by critical-
+	// path share (descending), then PID. AckViews is the number of views
+	// with ack information — the denominator of each member's share.
+	Members  []MemberRow
+	AckViews int
 	// Latency is the per-kind delivery-latency distribution, sorted by
 	// kind name ("flush", "multicast", "unicast").
 	Latency []KindDist
@@ -164,6 +192,19 @@ func FromSpanSet(set obs.SpanSet) *Report {
 	// Pass 2: fold member spans into view rows and phase samples.
 	rows := make(map[viewKey]*ViewRow)
 	var detect, agree, flush, install, total []time.Duration
+	type memberAgg struct {
+		detect, agree, flush, install, total []time.Duration
+		crit, coord                          int
+	}
+	members := make(map[string]*memberAgg)
+	memberOf := func(pid string) *memberAgg {
+		ma, ok := members[pid]
+		if !ok {
+			ma = &memberAgg{}
+			members[pid] = ma
+		}
+		return ma
+	}
 	maxGen := 0
 	for _, sp := range set.Spans {
 		if sp.Gen > maxGen {
@@ -196,6 +237,7 @@ func FromSpanSet(set obs.SpanSet) *Report {
 		row.Reproposals += sp.Reproposals
 		if sp.Coordinator {
 			row.Coordinator = sp.PID
+			memberOf(sp.PID).coord++
 		}
 		// A view is a bootstrap view only if EVERY member span is.
 		if !sp.Bootstrap {
@@ -209,6 +251,12 @@ func FromSpanSet(set obs.SpanSet) *Report {
 			flush = append(flush, sp.Flush)
 			install = append(install, sp.Install)
 			total = append(total, sp.Total())
+			ma := memberOf(sp.PID)
+			ma.detect = append(ma.detect, sp.Detect)
+			ma.agree = append(ma.agree, sp.Agree)
+			ma.flush = append(ma.flush, sp.Flush)
+			ma.install = append(ma.install, sp.Install)
+			ma.total = append(ma.total, sp.Total())
 		}
 	}
 	r.Generations = maxGen + 1
@@ -218,6 +266,8 @@ func FromSpanSet(set obs.SpanSet) *Report {
 		if g, ok := acks[k]; ok {
 			row.CritPID = g.lastPID
 			row.CritSpread = g.last.Sub(g.first)
+			r.AckViews++
+			memberOf(g.lastPID).crit++
 		}
 		r.Views = append(r.Views, *row)
 	}
@@ -239,6 +289,27 @@ func FromSpanSet(set obs.SpanSet) *Report {
 		Install: distOf(install),
 		Total:   distOf(total),
 	}
+
+	for pid, ma := range members {
+		r.Members = append(r.Members, MemberRow{
+			PID:         pid,
+			Spans:       len(ma.total),
+			Detect:      distOf(ma.detect),
+			Agree:       distOf(ma.agree),
+			Flush:       distOf(ma.flush),
+			Install:     distOf(ma.install),
+			Total:       distOf(ma.total),
+			CritViews:   ma.crit,
+			Coordinated: ma.coord,
+		})
+	}
+	sort.Slice(r.Members, func(i, j int) bool {
+		a, b := r.Members[i], r.Members[j]
+		if a.CritViews != b.CritViews {
+			return a.CritViews > b.CritViews
+		}
+		return a.PID < b.PID
+	})
 
 	// Pass 3: delivery latency per kind.
 	byKind := make(map[string][]time.Duration)

@@ -173,3 +173,51 @@ func TestWriteText(t *testing.T) {
 		t.Errorf("clean trace reported unclosed spans:\n%s", out)
 	}
 }
+
+func TestMemberAggregation(t *testing.T) {
+	r := FromEvents(changeEvents())
+	if r.AckViews != 1 {
+		t.Fatalf("AckViews = %d, want 1 (only a#1:2 carries acks)", r.AckViews)
+	}
+	if len(r.Members) != 3 {
+		t.Fatalf("members = %+v, want 3 rows", r.Members)
+	}
+	// c#1 gated the only acked install, so it sorts first.
+	if r.Members[0].PID != "c#1" || r.Members[0].CritViews != 1 {
+		t.Errorf("top member = %+v, want c#1 with 1 crit view", r.Members[0])
+	}
+	byPID := make(map[string]MemberRow)
+	for _, m := range r.Members {
+		byPID[m.PID] = m
+		if m.Spans != 1 {
+			t.Errorf("%s: spans = %d, want 1", m.PID, m.Spans)
+		}
+		if m.Total.Count != 1 {
+			t.Errorf("%s: total dist count = %d, want 1", m.PID, m.Total.Count)
+		}
+	}
+	if byPID["a#1"].Coordinated != 1 {
+		t.Errorf("a#1 coordinated = %d, want 1", byPID["a#1"].Coordinated)
+	}
+	if byPID["a#1"].CritViews != 0 || byPID["b#1"].CritViews != 0 {
+		t.Errorf("a/b crit views = %d/%d, want 0/0",
+			byPID["a#1"].CritViews, byPID["b#1"].CritViews)
+	}
+	// c's flush phase sample is its own 2ms, not the group worst.
+	if byPID["c#1"].Flush.Max != 2*time.Millisecond {
+		t.Errorf("c#1 flush max = %v, want 2ms", byPID["c#1"].Flush.Max)
+	}
+	if byPID["a#1"].Flush.Max != time.Millisecond {
+		t.Errorf("a#1 flush max = %v, want 1ms", byPID["a#1"].Flush.Max)
+	}
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "per-member phase profile") {
+		t.Errorf("WriteText missing per-member table:\n%s", out)
+	}
+	if !strings.Contains(out, "1/1 (100%)") {
+		t.Errorf("WriteText missing c#1 crit share:\n%s", out)
+	}
+}

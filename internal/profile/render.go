@@ -90,6 +90,23 @@ func (r *Report) WriteText(w io.Writer) {
 		writeDist(w, "total", r.Phases.Total)
 	}
 
+	if len(r.Members) > 0 {
+		fmt.Fprintln(w, "\nper-member phase profile (p95 ms; crit = views whose install this member's ack gated):")
+		fmt.Fprintf(w, "  %-8s %6s %8s %8s %8s %8s %8s %6s %12s\n",
+			"member", "spans", "detect", "agree", "flush", "install", "total", "coord", "crit")
+		for _, m := range r.Members {
+			crit := "-"
+			if r.AckViews > 0 {
+				crit = fmt.Sprintf("%d/%d (%.0f%%)", m.CritViews, r.AckViews,
+					100*float64(m.CritViews)/float64(r.AckViews))
+			}
+			fmt.Fprintf(w, "  %-8s %6d %8s %8s %8s %8s %8s %6d %12s\n",
+				m.PID, m.Spans,
+				msStr(m.Detect.P95), msStr(m.Agree.P95), msStr(m.Flush.P95),
+				msStr(m.Install.P95), msStr(m.Total.P95), m.Coordinated, crit)
+		}
+	}
+
 	if len(r.Latency) > 0 {
 		fmt.Fprintln(w, "\ndelivery latency by kind (ms):")
 		fmt.Fprintf(w, "  %-10s %8s %8s %8s %8s\n", "kind", "count", "p50", "p95", "max")

@@ -1,0 +1,301 @@
+// Contract tests for the Stats snapshot-consistency semantics the
+// transport seam documents (see stats.go): every backend must hand out
+// point-in-time snapshots in which the totals equal the per-kind sums
+// even while senders race, and a broadcast fan-out must be applied
+// under one critical section so a snapshot never observes half of it.
+// Both backends are exercised through the same harness: the
+// deterministic simulator and the real-socket UDP transport.
+package transport_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/transport/udp"
+	"repro/internal/transport/wire"
+)
+
+// backends returns the transports under contract test, freshly built.
+func backends(t *testing.T) map[string]transport.Transport {
+	t.Helper()
+	sim := simnet.New(simnet.Config{Seed: 7})
+	u := udp.New(udp.Config{})
+	t.Cleanup(sim.Close)
+	t.Cleanup(u.Close)
+	return map[string]transport.Transport{"simnet": sim, "udp": u}
+}
+
+func pid(i int) ids.PID { return ids.PID{Site: fmt.Sprintf("s%d", i), Inc: 1} }
+
+func hbFrom(p ids.PID) wire.Heartbeat {
+	return wire.Heartbeat{Group: "g", From: p, View: ids.ViewID{Epoch: 1, Coord: p}}
+}
+
+func dataFrom(p ids.PID, seq uint64) wire.Data {
+	return wire.Data{
+		Group: "g", ID: ids.MsgID{Sender: p, Seq: seq},
+		View: ids.ViewID{Epoch: 1, Coord: p}, Payload: []byte("payload"),
+	}
+}
+
+// sumKinds totals a per-kind map.
+func sumKinds(m map[string]uint64) uint64 {
+	var s uint64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// checkConsistent asserts the intra-snapshot invariants of the Stats
+// contract on one snapshot.
+func checkConsistent(t *testing.T, s transport.Stats, ctx string) {
+	t.Helper()
+	if got := sumKinds(s.PerKind); got != s.Sent {
+		t.Errorf("%s: Sent = %d but Σ PerKind = %d", ctx, s.Sent, got)
+	}
+	if got := sumKinds(s.PerKindBytes); got != s.BytesSent {
+		t.Errorf("%s: BytesSent = %d but Σ PerKindBytes = %d", ctx, s.BytesSent, got)
+	}
+	if got := sumKinds(s.PerKindDelivered); got != s.Delivered {
+		t.Errorf("%s: Delivered = %d but Σ PerKindDelivered = %d", ctx, s.Delivered, got)
+	}
+	if got := sumKinds(s.PerKindPiggyback); got != s.Piggybacked {
+		t.Errorf("%s: Piggybacked = %d but Σ PerKindPiggyback = %d", ctx, s.Piggybacked, got)
+	}
+	if s.Delivered+s.Dropped() > s.Sent {
+		t.Errorf("%s: Delivered (%d) + Dropped (%d) > Sent (%d)",
+			ctx, s.Delivered, s.Dropped(), s.Sent)
+	}
+}
+
+// drainAll keeps endpoints' inboxes empty so delivery counters advance
+// (the UDP backend drops into bounded queues). Returns a stop func.
+func drainAll(eps []transport.Endpoint) func() {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			for {
+				for {
+					if _, ok := ep.TryRecv(); !ok {
+						break
+					}
+				}
+				select {
+				case <-stop:
+					return
+				case <-ep.Wait():
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}(ep)
+	}
+	return func() { close(stop); wg.Wait() }
+}
+
+// TestStatsSnapshotConsistency hammers each backend with concurrent
+// unicast + broadcast traffic of two kinds while a racing reader takes
+// snapshots; every snapshot must satisfy totals == per-kind sums.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	const (
+		nProcs = 4
+		rounds = 200
+	)
+	for name, tr := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			eps := make([]transport.Endpoint, nProcs)
+			for i := range eps {
+				ep, err := tr.Attach(pid(i))
+				if err != nil {
+					t.Fatalf("Attach: %v", err)
+				}
+				eps[i] = ep
+			}
+			stopDrain := drainAll(eps)
+			defer stopDrain()
+
+			// Racing snapshot reader.
+			stopRead := make(chan struct{})
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			snapshots := 0
+			go func() {
+				defer readerWG.Done()
+				for {
+					select {
+					case <-stopRead:
+						return
+					default:
+					}
+					checkConsistent(t, tr.Stats(), "mid-traffic snapshot")
+					snapshots++
+					// Yield between snapshots: the point is racing
+					// reads, not a spin-loop starving the senders
+					// (and, under -race, the rest of the test tree).
+					time.Sleep(50 * time.Microsecond)
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for i, ep := range eps {
+				wg.Add(1)
+				go func(i int, ep transport.Endpoint) {
+					defer wg.Done()
+					self := pid(i)
+					for r := 0; r < rounds; r++ {
+						ep.Broadcast(hbFrom(self))
+						ep.Send(pid((i+1)%nProcs), dataFrom(self, uint64(r+1)))
+					}
+				}(i, ep)
+			}
+			wg.Wait()
+			close(stopRead)
+			readerWG.Wait()
+			if snapshots == 0 {
+				t.Error("snapshot reader never ran")
+			}
+
+			// Final snapshot: everything sent is accounted for, and the
+			// sent side is exact — per sender: rounds broadcasts of
+			// fan-out (n-1) plus rounds unicasts. A payload the backend
+			// coalesced onto another packet counts in Piggybacked rather
+			// than Sent (see the Stats contract), so the exact counts
+			// hold for the sum of the two.
+			final := tr.Stats()
+			checkConsistent(t, final, "final snapshot")
+			wantSent := uint64(nProcs * rounds * ((nProcs - 1) + 1))
+			if got := final.Sent + final.Piggybacked; got != wantSent {
+				t.Errorf("final Sent+Piggybacked = %d, want %d", got, wantSent)
+			}
+			wantHB := uint64(nProcs * rounds * (nProcs - 1))
+			if got := final.PerKind["hb"] + final.PerKindPiggyback["hb"]; got != wantHB {
+				t.Errorf("PerKind[hb]+PerKindPiggyback[hb] = %d, want %d", got, wantHB)
+			}
+			if got := final.PerKind["data"] + final.PerKindPiggyback["data"]; got != uint64(nProcs*rounds) {
+				t.Errorf("PerKind[data]+PerKindPiggyback[data] = %d, want %d", got, nProcs*rounds)
+			}
+		})
+	}
+}
+
+// TestStatsBroadcastAtomicFanOut sends only broadcasts, so in every
+// snapshot the sent counter must be a multiple of the fan-out degree —
+// a snapshot taken inside a fan-out's critical section would break the
+// divisibility.
+func TestStatsBroadcastAtomicFanOut(t *testing.T) {
+	const (
+		nProcs = 4
+		rounds = 300
+		fanOut = nProcs - 1
+	)
+	for name, tr := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			eps := make([]transport.Endpoint, nProcs)
+			for i := range eps {
+				ep, err := tr.Attach(pid(i))
+				if err != nil {
+					t.Fatalf("Attach: %v", err)
+				}
+				eps[i] = ep
+			}
+			stopDrain := drainAll(eps)
+			defer stopDrain()
+
+			stopRead := make(chan struct{})
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				for {
+					select {
+					case <-stopRead:
+						return
+					default:
+					}
+					s := tr.Stats()
+					if (s.Sent+s.Piggybacked)%fanOut != 0 {
+						t.Errorf("snapshot observed a partial fan-out: Sent+Piggybacked = %d not divisible by %d",
+							s.Sent+s.Piggybacked, fanOut)
+						return
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for i, ep := range eps {
+				wg.Add(1)
+				go func(i int, ep transport.Endpoint) {
+					defer wg.Done()
+					self := pid(i)
+					for r := 0; r < rounds; r++ {
+						ep.Broadcast(hbFrom(self))
+					}
+				}(i, ep)
+			}
+			wg.Wait()
+			close(stopRead)
+			readerWG.Wait()
+
+			final := tr.Stats()
+			if want := uint64(nProcs * rounds * fanOut); final.Sent+final.Piggybacked != want {
+				t.Errorf("final Sent+Piggybacked = %d, want %d", final.Sent+final.Piggybacked, want)
+			}
+		})
+	}
+}
+
+// TestStatsSnapshotOwnership verifies the deep-copy half of the
+// contract: mutating a returned snapshot must not affect the
+// transport, and later traffic must not affect the snapshot. Also
+// covers ResetStats zeroing the per-kind maps without touching earlier
+// snapshots.
+func TestStatsSnapshotOwnership(t *testing.T) {
+	for name, tr := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			a, err := tr.Attach(pid(0))
+			if err != nil {
+				t.Fatalf("Attach: %v", err)
+			}
+			if _, err := tr.Attach(pid(1)); err != nil {
+				t.Fatalf("Attach: %v", err)
+			}
+			a.Broadcast(hbFrom(pid(0)))
+
+			snap := tr.Stats()
+			if snap.Sent != 1 || snap.PerKind["hb"] != 1 {
+				t.Fatalf("snapshot after one broadcast = %+v", snap)
+			}
+			// Mutating the snapshot's maps must not leak into the
+			// transport.
+			snap.PerKind["hb"] = 99
+			snap.PerKindBytes["hb"] = 99
+			if s := tr.Stats(); s.PerKind["hb"] != 1 {
+				t.Errorf("snapshot mutation leaked into transport: %+v", s)
+			}
+			// Later traffic must not show up in the old snapshot.
+			a.Broadcast(hbFrom(pid(0)))
+			if snap.Sent != 1 {
+				t.Errorf("old snapshot changed by later traffic: %+v", snap)
+			}
+
+			before := tr.Stats()
+			tr.ResetStats()
+			zero := tr.Stats()
+			if zero.Sent != 0 || zero.BytesSent != 0 || len(zero.PerKind) != 0 && sumKinds(zero.PerKind) != 0 {
+				t.Errorf("after ResetStats: %+v", zero)
+			}
+			if before.Sent != 2 {
+				t.Errorf("pre-reset snapshot affected by reset: %+v", before)
+			}
+		})
+	}
+}

@@ -45,6 +45,7 @@
 package viewsync
 
 import (
+	"repro/internal/admin"
 	"repro/internal/check"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -371,6 +372,55 @@ var (
 	// TeeObservers composes observers (e.g. a Recorder and a Collector).
 	TeeObservers = obs.Tee
 )
+
+// Live runtime introspection (internal/admin): an HTTP server exposing
+// the metrics registry (Prometheus text + JSON), per-member status
+// snapshots, the recent trace ring, and pprof — while the group runs.
+// cmd/vsmon polls a set of these endpoints and renders a group-wide
+// health table.
+type (
+	// AdminServer serves /metrics, /metrics.json, /status, /trace and
+	// /debug/pprof for a set of registered members.
+	AdminServer = admin.Server
+	// AdminMember is one member's introspection hooks.
+	AdminMember = admin.Member
+	// MemberStatus is the /status document for one member: the process
+	// status plus the Figure-1 mode label.
+	MemberStatus = admin.MemberStatus
+	// ProcessStatus is a live snapshot of one process (view id,
+	// composition, structure, per-peer detector state, proposal age,
+	// loop health); see Process.StatusSnapshot.
+	ProcessStatus = core.Status
+	// PeerStatus is one co-member's state within a ProcessStatus.
+	PeerStatus = core.PeerStatus
+	// GroupMonitor turns polled member statuses into health verdicts
+	// (divergence beyond a grace window, stuck proposals, staleness).
+	GroupMonitor = admin.Monitor
+	// GroupAssessment is one monitoring round's verdict.
+	GroupAssessment = admin.Assessment
+)
+
+// NewAdmin binds addr (":0" for an ephemeral port) and serves the admin
+// endpoints for reg and tr (either may be nil). Register members with
+// RegisterProcess / RegisterObject; Close releases the port.
+func NewAdmin(addr string, reg *Metrics, tr *Tracer) (*AdminServer, error) {
+	return admin.New(addr, reg, tr)
+}
+
+// RegisterProcess exposes p on the admin server under its PID. Raw
+// processes have no mode automaton, so their /status mode is "".
+func RegisterProcess(s *AdminServer, p *Process) {
+	s.Register(p.PID().String(), admin.Member{Status: p.StatusSnapshot})
+}
+
+// RegisterObject exposes a group-object host on the admin server under
+// its PID: the process status plus its live Figure-1 mode.
+func RegisterObject(s *AdminServer, h *ObjectHost) {
+	s.Register(h.Process().PID().String(), admin.Member{
+		Status: h.Process().StatusSnapshot,
+		Mode:   func() string { return h.Mode().String() },
+	})
+}
 
 // Trace checking (verifies P2.1–P2.3 and P6.1–P6.3 over executions).
 type (
