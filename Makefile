@@ -42,7 +42,12 @@ race:
 # a live admin endpoint: -admin-check makes vsbench scrape its own
 # /metrics and /status after the run and exit non-zero if the
 # Prometheus exposition fails to parse or any member's status document
-# is missing a view id.
+# is missing a view id. The vschaos runs are the quick chaos gate: a
+# few short seeded fault plans per transport (seeded so the gate is
+# reproducible), exiting non-zero on any invariant violation or
+# reconvergence timeout and printing the failing seed/plan path; the
+# chaos package's own race pass covers the fault filter racing the
+# protocol loop.
 check: build
 	$(GO) vet ./... && $(GO) test -race ./...
 	$(GO) test -race ./internal/transport/...
@@ -58,6 +63,9 @@ check: build
 	$(GO) run ./cmd/vstrace -analyze /tmp/vsbench-e8m-check.jsonl
 	$(GO) run ./cmd/vstrace -profile /tmp/vsbench-e8m-check.jsonl
 	$(GO) run ./cmd/vsbench -exp e8m -quick -transport udp
+	$(GO) test -race ./internal/chaos
+	$(GO) run ./cmd/vschaos -runs 3 -out /tmp/vschaos-check
+	$(GO) run ./cmd/vschaos -seed 5 -transport udp -out /tmp/vschaos-check
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...

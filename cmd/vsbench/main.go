@@ -44,7 +44,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7|e8|e8m|e9|e10")
+	exp := flag.String("exp", "all", "experiment to run: all|f1|f2|f3|e1|e2|e3|e4|e5|e6|e7|e8|e8m|e9|e10|e11")
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
@@ -120,8 +120,9 @@ func main() {
 		"f1": runF1, "f2": runF2, "f3": runF3,
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5, "e6": runE6,
 		"e7": runE7, "e8": runE8, "e8m": runE8M, "e9": runE9, "e10": runE10,
+		"e11": runE11,
 	}
-	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8m", "e9", "e10"}
+	order := []string{"f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8m", "e9", "e10", "e11"}
 
 	which := strings.ToLower(*exp)
 	if which == "all" {
@@ -482,6 +483,28 @@ func runE10(timing experiments.Timing, seed int64, quick bool) error {
 			return err
 		}
 		fmt.Println(row)
+	}
+	return nil
+}
+
+func runE11(timing experiments.Timing, seed int64, quick bool) error {
+	header("E11 — chaos soak: seeded fault schedules gated by the invariant suite",
+		"§2-§4: every partition/loss/crash schedule must be masked behind view changes — zero invariant violations, bounded post-fault reconvergence")
+	runs := 12
+	if quick {
+		runs = 4
+	}
+	fmt.Println(experiments.E11Header)
+	row, err := experiments.RunE11(runs, timing, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(row)
+	// The soak's acceptance gate: a failing seed is a bug report, and
+	// the seed alone reproduces it.
+	if row.Failed > 0 {
+		return fmt.Errorf("e11: %d/%d runs failed (seeds %v); reproduce with: go run ./cmd/vschaos -seed <seed> -transport %s",
+			row.Failed, row.Runs, row.FailedSeeds, row.Backend)
 	}
 	return nil
 }

@@ -1,0 +1,157 @@
+// Command vschaos runs seeded chaos schedules against live view-
+// synchrony groups and gates every run through the paper's invariant
+// suite plus a reconvergence oracle (internal/chaos; README "Chaos
+// testing").
+//
+// Usage:
+//
+//	go run ./cmd/vschaos -runs 20                 # 20 generated plans, seeds 1..20
+//	go run ./cmd/vschaos -seed 7                  # one specific seed
+//	go run ./cmd/vschaos -seed 7 -transport udp   # same schedule, real sockets
+//	go run ./cmd/vschaos -plan failing.json       # replay a saved plan
+//	go run ./cmd/vschaos -plan failing.json -shrink  # minimize it first
+//	go run ./cmd/vschaos -runs 50 -out /tmp/chaos    # save artifacts there
+//
+// On any failing run vschaos writes the failing plan to
+// <out>/failing-seed<seed>.json (plus a -shrink-minimized
+// <out>/failing-seed<seed>-min.json), prints the seed and plan path,
+// and exits 1 — the printed seed alone reproduces the schedule:
+//
+//	go run ./cmd/vschaos -seed <seed>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so the trace-file flush deferred inside
+// actually runs before the process exits.
+func run() int {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 0, "run exactly this seed's generated plan (0: seeds 1..runs)")
+	runs := flag.Int("runs", 1, "number of generated plans to run when -seed and -plan are unset")
+	planPath := flag.String("plan", "", "replay a saved plan JSON instead of generating one")
+	doShrink := flag.Bool("shrink", false, "on failure, greedily minimize the failing plan before reporting")
+	transportName := flag.String("transport", "sim", "network backend: sim (deterministic simulator) or udp (real loopback sockets)")
+	n := flag.Int("n", 0, "group size for generated plans (0: generator default)")
+	horizon := flag.Int("horizon", 0, "fault horizon in ms for generated plans (0: generator default)")
+	out := flag.String("out", ".", "directory for failing-plan artifacts")
+	traceOut := flag.String("trace-out", "", "append a JSONL trace of every run's protocol events to this file")
+	settle := flag.Duration("settle", 0, "reconvergence bound after faults cease (0: 15s default)")
+	budget := flag.Int("shrink-budget", 32, "max candidate re-runs the shrinker may spend")
+	flag.Parse()
+
+	if *transportName != "sim" && *transportName != "udp" {
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want sim|udp)\n", *transportName)
+		return 2
+	}
+
+	cfg := chaos.Config{Transport: *transportName, SettleTimeout: *settle}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("vschaos: %v", err)
+		}
+		w := bufio.NewWriter(f)
+		defer func() {
+			w.Flush()
+			f.Close()
+		}()
+		cfg.TraceSinks = []obs.Sink{obs.NewJSONLSink(w)}
+	}
+
+	gc := chaos.GenConfig{N: *n, Horizon: time.Duration(*horizon) * time.Millisecond}
+
+	var plans []chaos.Plan
+	switch {
+	case *planPath != "":
+		p, err := chaos.Load(*planPath)
+		if err != nil {
+			log.Fatalf("vschaos: load %s: %v", *planPath, err)
+		}
+		plans = []chaos.Plan{p}
+	case *seed != 0:
+		plans = []chaos.Plan{chaos.Generate(*seed, gc)}
+	default:
+		for s := int64(1); s <= int64(*runs); s++ {
+			plans = append(plans, chaos.Generate(s, gc))
+		}
+	}
+
+	failed := 0
+	for _, plan := range plans {
+		res, err := chaos.Run(plan, cfg)
+		if err != nil {
+			// Infrastructure errors (formation timeouts, bad plans) are
+			// harness failures, not oracle verdicts — still a non-zero
+			// exit, with the seed so the run is reproducible.
+			log.Printf("seed=%d %s: harness error: %v", plan.Seed, *transportName, err)
+			failed++
+			continue
+		}
+		log.Printf("%s", res.Summary())
+		if !res.Failed() {
+			continue
+		}
+		failed++
+		for _, v := range res.Violations {
+			log.Printf("  violation: %s", v)
+		}
+		if res.OracleDetail != "" {
+			log.Printf("  oracle: %s", res.OracleDetail)
+		}
+		report(plan, cfg, *out, *doShrink, *budget)
+	}
+	if failed > 0 {
+		log.Printf("vschaos: %d/%d runs failed", failed, len(plans))
+		return 1
+	}
+	log.Printf("vschaos: all %d runs clean", len(plans))
+	return 0
+}
+
+// report saves the failing plan (and optionally its shrunk core) and
+// prints the reproduction handles: the seed and the plan path.
+func report(plan chaos.Plan, cfg chaos.Config, out string, doShrink bool, budget int) {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Printf("  save: %v", err)
+		return
+	}
+	path := filepath.Join(out, fmt.Sprintf("failing-seed%d.json", plan.Seed))
+	if err := plan.Save(path); err != nil {
+		log.Printf("  save: %v", err)
+		return
+	}
+	log.Printf("  FAILING SEED %d; plan saved to %s", plan.Seed, path)
+	log.Printf("  reproduce with: go run ./cmd/vschaos -plan %s -transport %s", path, cfg.Transport)
+	if !doShrink {
+		return
+	}
+	shrunk, st, err := chaos.Shrink(plan, func(cand chaos.Plan) (chaos.Result, error) {
+		return chaos.Run(cand, cfg)
+	}, budget)
+	if err != nil {
+		log.Printf("  shrink: %v", err)
+		return
+	}
+	log.Printf("  %s", chaos.ShrinkReport(plan, shrunk, st))
+	minPath := filepath.Join(out, fmt.Sprintf("failing-seed%d-min.json", plan.Seed))
+	if err := shrunk.Save(minPath); err != nil {
+		log.Printf("  save: %v", err)
+		return
+	}
+	log.Printf("  minimized plan saved to %s", minPath)
+}

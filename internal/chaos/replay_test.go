@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tracecheck"
+)
+
+// e8mPlan is the E8M install-propagation-mismatch fault expressed as a
+// chaos plan: starve the group of e's heartbeats long enough that e is
+// suspected out and a 4-member view forms, then — as the starvation
+// lifts and the coordinator a re-forms the full view — eat exactly one
+// Install from a to c. c has acked and blocked, advertising the stale
+// view; the reconciliation fast path must re-send the cached install
+// and heal without a re-proposal round.
+func e8mPlan(seed int64) Plan {
+	return Plan{
+		Seed: seed, N: 5, HorizonMS: 400,
+		Faults: []Fault{
+			{Kind: KindHBStarve, At: 30, For: 90, A: "e"},
+			{Kind: KindDrop, At: 120, A: "a", B: "c", Pkt: "install", Count: 1},
+		},
+	}
+}
+
+// TestE8MismatchPlanReplay is the acceptance scenario: the E8M fault as
+// a chaos plan must reproduce (the install is dropped, the reconcile
+// fast path fires) and heal identically under replay from the same
+// seed — same deterministic fault counts, reconvergence, and a clean
+// tracecheck verdict, twice.
+func TestE8MismatchPlanReplay(t *testing.T) {
+	plan := e8mPlan(424242)
+	type outcome struct {
+		dropped, starved uint64
+		reconciles       uint64
+		violations       int
+		reconverged      bool
+	}
+	runOnce := func() outcome {
+		t.Helper()
+		reg := obs.NewRegistry()
+		res, err := Run(plan, Config{Metrics: reg})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		snap := reg.Snapshot()
+		return outcome{
+			dropped:     res.FaultCounts[string(KindDrop)],
+			starved:     res.FaultCounts[string(KindHBStarve)],
+			reconciles:  snap.Counters[obs.MetricReconciles],
+			violations:  len(res.Violations),
+			reconverged: res.Reconverged,
+		}
+	}
+
+	first := runOnce()
+	second := runOnce()
+
+	for i, o := range []outcome{first, second} {
+		if !o.reconverged {
+			t.Fatalf("replay %d: group never reconverged", i)
+		}
+		if o.violations != 0 {
+			t.Fatalf("replay %d: %d tracecheck violations", i, o.violations)
+		}
+		if o.dropped != 1 {
+			t.Errorf("replay %d: install drops = %d, want exactly 1", i, o.dropped)
+		}
+		if o.starved != 1 {
+			t.Errorf("replay %d: hb-starve activations = %d, want 1", i, o.starved)
+		}
+		// The heal must be the reconcile fast path re-sending the cached
+		// install — the whole point of the E8M scenario.
+		if o.reconciles == 0 {
+			t.Errorf("replay %d: reconcile fast path never fired after the install drop", i)
+		}
+	}
+	if first.dropped != second.dropped || first.starved != second.starved {
+		t.Errorf("replays diverged on deterministic fault counts: %+v vs %+v", first, second)
+	}
+}
+
+// alwaysFail is the artificially broken oracle: every trace "violates".
+type alwaysFail struct{}
+
+func (alwaysFail) Name() string { return "always-fail" }
+func (alwaysFail) Check(*tracecheck.Timeline) []tracecheck.Violation {
+	return []tracecheck.Violation{{Checker: "always-fail", Msg: "injected failure"}}
+}
+
+// TestShrinkerOnBrokenOracle is the second acceptance scenario: run a
+// multi-fault plan against an artificially broken oracle and watch the
+// shrinker emit a strictly smaller failing plan.
+func TestShrinkerOnBrokenOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking re-runs live groups; skipped in -short")
+	}
+	plan := Plan{
+		Seed: 77, N: 3, HorizonMS: 300,
+		Faults: []Fault{
+			{Kind: KindLoss, At: 10, For: 100, Prob: 0.3},
+			{Kind: KindDup, At: 50, For: 100, Prob: 0.5},
+			{Kind: KindOneWay, At: 120, For: 80, A: "a", B: "b"},
+		},
+	}
+	cfg := Config{Checkers: []tracecheck.Checker{alwaysFail{}}}
+	res, err := Run(plan, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Failed() {
+		t.Fatal("broken oracle did not fail the run")
+	}
+
+	runs := 0
+	shrunk, st, err := Shrink(plan, func(cand Plan) (Result, error) {
+		runs++
+		return Run(cand, cfg)
+	}, 12)
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if st.Runs != runs {
+		t.Errorf("ShrinkStats.Runs = %d, but RunFunc ran %d times", st.Runs, runs)
+	}
+	// Every fault is removable under an always-failing oracle: the
+	// shrunk plan must be strictly smaller, and with budget to spare it
+	// reaches the empty schedule.
+	if len(shrunk.Faults) >= len(plan.Faults) {
+		t.Fatalf("shrinker did not shrink: %d faults -> %d", len(plan.Faults), len(shrunk.Faults))
+	}
+	if len(shrunk.Faults) != 0 {
+		t.Errorf("with an always-failing oracle the minimal plan is empty; got %d faults: %s",
+			len(shrunk.Faults), shrunk)
+	}
+}
+
+// TestShrinkGreedy exercises the shrinker against a fake runner with a
+// known minimal core: the failure needs the drop-install fault AND a
+// one-way window of at least 80ms; everything else is noise.
+func TestShrinkGreedy(t *testing.T) {
+	plan := Plan{
+		Seed: 5, N: 5, HorizonMS: 1000,
+		Faults: []Fault{
+			{Kind: KindLoss, At: 0, For: 200, Prob: 0.5},
+			{Kind: KindDrop, At: 100, For: 300, A: "a", B: "c", Pkt: "install", Count: 1},
+			{Kind: KindDup, At: 200, For: 200, Prob: 0.5},
+			{Kind: KindOneWay, At: 300, For: 640, A: "b", B: "d"},
+			{Kind: KindDelay, At: 400, For: 200, Prob: 0.5, DelayMS: 10},
+		},
+	}
+	fails := func(p Plan) bool {
+		hasDrop, hasCut := false, false
+		for _, f := range p.Faults {
+			if f.Kind == KindDrop && f.Pkt == "install" {
+				hasDrop = true
+			}
+			if f.Kind == KindOneWay && f.For >= 80 {
+				hasCut = true
+			}
+		}
+		return hasDrop && hasCut
+	}
+	shrunk, st, err := Shrink(plan, func(p Plan) (Result, error) {
+		r := Result{Plan: p, Reconverged: true}
+		if fails(p) {
+			r.Reconverged = false
+		}
+		return r, nil
+	}, 100)
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if len(shrunk.Faults) != 2 {
+		t.Fatalf("shrunk to %d faults, want the 2-fault core: %s", len(shrunk.Faults), shrunk)
+	}
+	if shrunk.Faults[0].Kind != KindDrop || shrunk.Faults[1].Kind != KindOneWay {
+		t.Fatalf("wrong core: %s", shrunk)
+	}
+	// The one-way window must have been halved down to the last size
+	// that still fails (>= 80ms, < 160ms).
+	if w := shrunk.Faults[1].For; w < 80 || w >= 160 {
+		t.Errorf("one-way window = %dms, want halved into [80, 160)", w)
+	}
+	if st.Removed != 3 {
+		t.Errorf("removed %d faults, want 3", st.Removed)
+	}
+	if st.Shortened == 0 {
+		t.Error("no windows were halved")
+	}
+	if !fails(shrunk) {
+		t.Error("shrunk plan no longer fails")
+	}
+}
+
+// TestShrinkKeepsOriginalWhenNotReproducible: if no candidate fails,
+// the original plan comes back unchanged.
+func TestShrinkKeepsOriginalWhenNotReproducible(t *testing.T) {
+	plan := Plan{Seed: 1, N: 3, HorizonMS: 200, Faults: []Fault{
+		{Kind: KindLoss, At: 0, For: 100, Prob: 0.5},
+	}}
+	shrunk, st, err := Shrink(plan, func(p Plan) (Result, error) {
+		return Result{Plan: p, Reconverged: true}, nil
+	}, 10)
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if len(shrunk.Faults) != 1 || st.Removed != 0 {
+		t.Fatalf("shrinker changed a non-reproducible plan: %s", shrunk)
+	}
+}

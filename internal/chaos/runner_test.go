@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRunHandcraftedPlan runs a short schedule exercising one fault of
+// each structural family — partition, one-way cut, crash+restart — and
+// expects a clean verdict: the group must reconverge and the trace must
+// satisfy every paper invariant.
+func TestRunHandcraftedPlan(t *testing.T) {
+	plan := Plan{
+		Seed: 11, N: 4, HorizonMS: 500,
+		Faults: []Fault{
+			{Kind: KindPartition, At: 20, For: 120, Sites: []string{"b"}},
+			{Kind: KindOneWay, At: 180, For: 100, A: "a", B: "c"},
+			{Kind: KindCrash, At: 300, For: 100, A: "d"},
+		},
+	}
+	reg := obs.NewRegistry()
+	res, err := Run(plan, Config{Metrics: reg})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("run failed: violations=%v reconverged=%v detail=%s",
+			res.Violations, res.Reconverged, res.OracleDetail)
+	}
+	if res.FaultCounts[string(KindPartition)] != 1 {
+		t.Errorf("partition activations = %d, want 1", res.FaultCounts[string(KindPartition)])
+	}
+	if res.FaultCounts[string(KindCrash)] != 1 {
+		t.Errorf("crash activations = %d, want 1", res.FaultCounts[string(KindCrash)])
+	}
+	if res.FaultCounts[string(KindOneWay)] == 0 {
+		t.Errorf("one-way cut dropped no packets; the cut never bit")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricFaultPrefix+string(KindCrash)]; got != 1 {
+		t.Errorf("chaos.fault_total.crash = %d, want 1", got)
+	}
+	if res.Events == 0 {
+		t.Error("no trace events collected")
+	}
+}
+
+// TestRunPacketFaults covers the probabilistic packet-level kinds:
+// loss, duplication, and delay spikes must inject (counted per packet)
+// without breaking any invariant — the protocol's dedup and stale-view
+// handling are exactly what they stress.
+func TestRunPacketFaults(t *testing.T) {
+	plan := Plan{
+		Seed: 23, N: 3, HorizonMS: 400,
+		Faults: []Fault{
+			{Kind: KindLoss, At: 10, For: 150, Prob: 0.3},
+			{Kind: KindDup, At: 100, For: 200, Prob: 0.5},
+			{Kind: KindDelay, At: 150, For: 200, Prob: 0.5, DelayMS: 10},
+		},
+	}
+	res, err := Run(plan, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("run failed: violations=%v reconverged=%v detail=%s",
+			res.Violations, res.Reconverged, res.OracleDetail)
+	}
+	for _, k := range []FaultKind{KindLoss, KindDup, KindDelay} {
+		if res.FaultCounts[string(k)] == 0 {
+			t.Errorf("%s injected nothing", k)
+		}
+	}
+}
+
+// TestGenerateDeterministic: the whole point of the seed — the same
+// seed yields byte-identical plans, different seeds differ.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, GenConfig{})
+	b := Generate(7, GenConfig{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%s\n%s", a, b)
+	}
+	c := Generate(8, GenConfig{})
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical plans: %s", a)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if len(a.Faults) < 3 {
+		t.Fatalf("generated %d faults, want >= 3", len(a.Faults))
+	}
+}
+
+// TestGeneratedPlansValidate sweeps seeds through the generator; every
+// plan must validate and respect the crash budget.
+func TestGeneratedPlansValidate(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed, GenConfig{})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, p)
+		}
+		crashes := 0
+		for _, f := range p.Faults {
+			if f.Kind == KindCrash {
+				crashes++
+			}
+			if end := f.At + f.For; end > p.HorizonMS {
+				t.Fatalf("seed %d: fault %s runs past the horizon", seed, f)
+			}
+		}
+		if crashes > 1 {
+			t.Fatalf("seed %d: %d crash faults, want <= 1", seed, crashes)
+		}
+	}
+}
+
+// TestPlanRoundTrip: Save/Load is the bug-report format; it must be
+// lossless.
+func TestPlanRoundTrip(t *testing.T) {
+	p := Generate(99, GenConfig{})
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip mismatch:\n%s\n%s", p, got)
+	}
+}
+
+// TestPlanValidateRejects spot-checks the validator's error cases.
+func TestPlanValidateRejects(t *testing.T) {
+	base := Plan{Seed: 1, N: 3, HorizonMS: 300}
+	bad := []Plan{
+		{Seed: 1, N: 1, HorizonMS: 300},
+		{Seed: 1, N: 3},
+		withFault(base, Fault{Kind: "nonsense", At: 0}),
+		withFault(base, Fault{Kind: KindOneWay, At: 0, A: "a", B: "a"}),
+		withFault(base, Fault{Kind: KindPartition, At: 0, Sites: []string{"a", "b", "c"}}),
+		withFault(base, Fault{Kind: KindLoss, At: 0, Prob: 1.5}),
+		withFault(base, Fault{Kind: KindCrash, At: 0}),
+		withFault(base, Fault{Kind: KindDrop, At: 400, A: "a"}),
+		withFault(base, Fault{Kind: KindHBStarve, At: 0, A: "z"}),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			b, _ := json.Marshal(p)
+			t.Errorf("case %d: Validate accepted %s", i, b)
+		}
+	}
+}
+
+func withFault(p Plan, f Fault) Plan {
+	p.Faults = append([]Fault(nil), f)
+	return p
+}
+
+// TestMergeGroups covers the partition-component union logic.
+func TestMergeGroups(t *testing.T) {
+	got := mergeGroups([][]string{{"a", "b"}, {"c"}, {"b", "d"}})
+	want := [][]string{{"a", "b", "d"}, {"c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergeGroups = %v, want %v", got, want)
+	}
+}
+
+// TestFaultWindow checks the For==0 horizon convention.
+func TestFaultWindow(t *testing.T) {
+	at, dur := Fault{At: 100}.Window(500)
+	if at != 100*time.Millisecond || dur != 400*time.Millisecond {
+		t.Fatalf("Window = (%v, %v), want (100ms, 400ms)", at, dur)
+	}
+	at, dur = Fault{At: 100, For: 1000}.Window(500)
+	if at != 100*time.Millisecond || dur != 400*time.Millisecond {
+		t.Fatalf("clamped Window = (%v, %v), want (100ms, 400ms)", at, dur)
+	}
+}

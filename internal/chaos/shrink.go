@@ -1,0 +1,105 @@
+package chaos
+
+import "fmt"
+
+// MinShrinkWindowMS is the floor window halving stops at: below ~2
+// suspicion timeouts a fault window rarely provokes anything, so
+// shrinking past it only burns runs.
+const MinShrinkWindowMS = 40
+
+// RunFunc re-runs a candidate plan and reports its verdict. Shrink
+// re-runs through it so callers choose the transport/config (and tests
+// substitute fakes).
+type RunFunc func(Plan) (Result, error)
+
+// ShrinkStats reports what the shrinker did.
+type ShrinkStats struct {
+	// Runs is how many candidate re-runs were spent.
+	Runs int
+	// Removed is how many faults were dropped from the plan.
+	Removed int
+	// Shortened is how many window-halving steps stuck.
+	Shortened int
+}
+
+// Shrink greedily minimizes a failing plan: repeatedly try dropping one
+// fault, then halving one fault's window, keeping every candidate that
+// still fails, until no single change helps or the run budget is
+// spent. The result is 1-minimal with respect to those two moves (when
+// the budget sufficed): removing any single remaining fault, or
+// halving any remaining window, makes the failure disappear. The
+// original failing plan is returned unchanged if no candidate fails —
+// e.g. when the failure was not reproducible at all.
+//
+// A candidate whose run returns an infrastructure error (as opposed to
+// an oracle verdict) is skipped, not treated as failing: a plan that
+// breaks the harness is not a smaller bug report.
+func Shrink(failing Plan, run RunFunc, budget int) (Plan, ShrinkStats, error) {
+	if budget <= 0 {
+		budget = 32
+	}
+	cur := failing
+	var st ShrinkStats
+	try := func(cand Plan) (bool, error) {
+		if st.Runs >= budget {
+			return false, nil
+		}
+		st.Runs++
+		res, err := run(cand)
+		if err != nil {
+			return false, nil // harness error: skip this candidate
+		}
+		return res.Failed(), err
+	}
+
+	for pass := 0; ; pass++ {
+		improved := false
+
+		// Move 1: drop one fault at a time.
+		for i := 0; i < len(cur.Faults) && st.Runs < budget; i++ {
+			cand := cur
+			cand.Faults = append(append([]Fault(nil), cur.Faults[:i]...), cur.Faults[i+1:]...)
+			fails, err := try(cand)
+			if err != nil {
+				return cur, st, err
+			}
+			if fails {
+				cur = cand
+				st.Removed++
+				improved = true
+				i-- // the slot now holds the next fault
+			}
+		}
+
+		// Move 2: halve one window at a time.
+		for i := 0; i < len(cur.Faults) && st.Runs < budget; i++ {
+			f := cur.Faults[i]
+			if f.For/2 < MinShrinkWindowMS {
+				continue
+			}
+			cand := cur
+			cand.Faults = append([]Fault(nil), cur.Faults...)
+			cand.Faults[i].For = f.For / 2
+			fails, err := try(cand)
+			if err != nil {
+				return cur, st, err
+			}
+			if fails {
+				cur = cand
+				st.Shortened++
+				improved = true
+				i-- // try halving the same window again
+			}
+		}
+
+		if !improved || st.Runs >= budget {
+			return cur, st, nil
+		}
+	}
+}
+
+// ShrinkReport renders the before/after for the bug report.
+func ShrinkReport(before, after Plan, st ShrinkStats) string {
+	return fmt.Sprintf("shrink: %d faults -> %d (%d removed, %d windows halved, %d runs)\n  before: %s\n  after:  %s",
+		len(before.Faults), len(after.Faults), st.Removed, st.Shortened, st.Runs, before, after)
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// E11Row summarizes one chaos soak cell: a batch of seeded fault plans
+// (internal/chaos) run against live groups, every run gated through the
+// tracecheck invariant suite and the reconvergence oracle. The paper's
+// robustness claim is qualitative — view synchrony masks partitions,
+// losses, and crashes behind view changes — so the cell's product is a
+// count of oracle verdicts, not a latency curve: any violation or
+// reconvergence timeout is a bug, and the failing seed reproduces it
+// (`go run ./cmd/vschaos -seed <seed>`).
+type E11Row struct {
+	// Backend is the transport the cell ran over ("sim" or "udp").
+	Backend string
+	// Runs is how many generated plans ran; Failed is how many violated
+	// an oracle (must be 0), and FailedSeeds lists their seeds.
+	Runs        int
+	Failed      int
+	FailedSeeds []int64
+	// Violations is the total tracecheck violation count across runs.
+	Violations int
+	// FaultCounts aggregates injections per fault kind across the cell
+	// (the same numbers the chaos.fault_total.* counters carry).
+	FaultCounts map[string]uint64
+	// Post-fault reconvergence percentiles across runs: how long after
+	// the last fault ceased until one full view contained every live
+	// member.
+	ReconvP50, ReconvP95, ReconvMax time.Duration
+}
+
+// RunE11 runs one soak cell: `runs` plans generated from consecutive
+// seeds starting at `seed`, each against a fresh group on the profile's
+// transport. The profile's observer is teed into every process (so
+// vsbench -metrics / -trace-out see the runs) and its fault counters
+// land in the observer's registry when it carries one.
+func RunE11(runs int, timing Timing, seed int64) (E11Row, error) {
+	row := E11Row{
+		Backend:     transportOf(timing),
+		Runs:        runs,
+		FaultCounts: map[string]uint64{},
+	}
+	cfg := chaos.Config{
+		Transport:      row.Backend,
+		HeartbeatEvery: timing.HeartbeatEvery,
+		SuspectAfter:   timing.SuspectAfter,
+		Tick:           timing.Tick,
+		ProposeTimeout: timing.ProposeTimeout,
+		Observer:       timing.Observer,
+		OnStart:        timing.OnStart,
+	}
+	// Fault counters (chaos.fault_total.*) go to the vsbench metrics
+	// snapshot when the profile's observer is an obs.Collector over a
+	// shared registry.
+	if c, ok := timing.Observer.(interface{ Registry() *obs.Registry }); ok {
+		cfg.Metrics = c.Registry()
+	}
+
+	var reconv []time.Duration
+	for i := 0; i < runs; i++ {
+		plan := chaos.Generate(seed+int64(i), chaos.GenConfig{})
+		// Fresh environment per plan ⇒ fresh identifier space for trace
+		// analysis.
+		timing.MarkRun(fmt.Sprintf("e11-%s-seed%d", row.Backend, plan.Seed))
+		res, err := chaos.Run(plan, cfg)
+		if err != nil {
+			return row, fmt.Errorf("e11: seed %d: %w", plan.Seed, err)
+		}
+		for k, n := range res.FaultCounts {
+			row.FaultCounts[k] += n
+		}
+		if res.Failed() {
+			row.Failed++
+			row.FailedSeeds = append(row.FailedSeeds, plan.Seed)
+			row.Violations += len(res.Violations)
+			continue
+		}
+		reconv = append(reconv, res.ReconvergeIn)
+	}
+	sort.Slice(reconv, func(i, j int) bool { return reconv[i] < reconv[j] })
+	if len(reconv) > 0 {
+		row.ReconvP50 = reconv[len(reconv)/2]
+		row.ReconvP95 = reconv[(len(reconv)*95)/100]
+		row.ReconvMax = reconv[len(reconv)-1]
+	}
+	return row, nil
+}
+
+func transportOf(t Timing) string {
+	if t.Transport == "" {
+		return "sim"
+	}
+	return t.Transport
+}
+
+// E11Header is the column header line for E11 tables.
+const E11Header = "backend | runs | failed | violations | injected | reconv p50 | reconv p95 | reconv max | faults by kind"
+
+// String renders the row under E11Header.
+func (r E11Row) String() string {
+	total := uint64(0)
+	kinds := make([]string, 0, len(r.FaultCounts))
+	for k, n := range r.FaultCounts {
+		total += n
+		kinds = append(kinds, fmt.Sprintf("%s=%d", k, n))
+	}
+	sort.Strings(kinds)
+	return fmt.Sprintf("%7s | %4d | %6d | %10d | %8d | %10v | %10v | %10v | %s",
+		r.Backend, r.Runs, r.Failed, r.Violations, total,
+		r.ReconvP50.Round(time.Millisecond), r.ReconvP95.Round(time.Millisecond),
+		r.ReconvMax.Round(time.Millisecond), strings.Join(kinds, " "))
+}

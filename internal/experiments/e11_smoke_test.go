@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// TestE11Smoke runs a tiny soak cell and checks the oracle verdicts,
+// the per-kind aggregation, and that the fault counters reached the
+// observer's registry (the vsbench -metrics path).
+func TestE11Smoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	timing := FastTiming()
+	timing.Observer = obs.NewCollector(reg, nil)
+
+	row, err := RunE11(2, timing, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s\n%s", E11Header, row)
+	if row.Failed > 0 {
+		t.Fatalf("%d/%d soak runs failed (seeds %v)", row.Failed, row.Runs, row.FailedSeeds)
+	}
+	total := uint64(0)
+	for _, n := range row.FaultCounts {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("soak injected no faults")
+	}
+	snap := reg.Snapshot()
+	regTotal := uint64(0)
+	for name, n := range snap.Counters {
+		if len(name) > len(chaos.MetricFaultPrefix) && name[:len(chaos.MetricFaultPrefix)] == chaos.MetricFaultPrefix {
+			regTotal += n
+		}
+	}
+	if regTotal != total {
+		t.Errorf("registry chaos.fault_total.* = %d, row aggregate = %d", regTotal, total)
+	}
+}

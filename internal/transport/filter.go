@@ -43,8 +43,20 @@ func (f *DropFilter) Arm(pred func(from, to ids.PID, payload any) bool) {
 // ArmN installs the drop predicate with a drop budget: after n matches
 // have been dropped the filter disarms itself, so a retransmission (or
 // a reconcile re-send) of the same packet gets through. n < 0 means
-// unlimited.
+// unlimited; n == 0 is equivalent to Disarm (a zero budget can never
+// drop, so no predicate is installed).
+//
+// Re-arm semantics: re-arming replaces the predicate and resets the
+// remaining budget to n, but never resets the cumulative Dropped
+// counter — Dropped counts every drop since creation, across arms.
+// Arming, budget accounting, and disarming all happen under one lock,
+// so a send racing the filter's self-disarm either consumes budget
+// (and is dropped and counted exactly once) or observes the disarmed
+// filter and passes; the budget is never double-counted.
 func (f *DropFilter) ArmN(pred func(from, to ids.PID, payload any) bool, n int) {
+	if n == 0 {
+		pred = nil
+	}
 	f.mu.Lock()
 	f.pred = pred
 	f.budget = n

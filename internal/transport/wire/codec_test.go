@@ -16,9 +16,15 @@ func pid(site string, inc uint32) ids.PID { return ids.PID{Site: site, Inc: inc}
 func view(epoch uint64, coord ids.PID) ids.ViewID { return ids.ViewID{Epoch: epoch, Coord: coord} }
 
 // testStructure builds a two-subview structure via the same Export/
-// FromRows surface the codec uses.
+// FromRows surface the codec uses. It wraps goldenStructure for the
+// tests; the fuzz targets use goldenStructure directly (testing.F has
+// no *testing.T during seeding).
 func testStructure(t *testing.T) evs.Structure {
 	t.Helper()
+	return goldenStructure()
+}
+
+func goldenStructure() evs.Structure {
 	v := view(3, pid("a", 1))
 	rows := []evs.Row{
 		{
@@ -34,7 +40,7 @@ func testStructure(t *testing.T) evs.Structure {
 	}
 	s, err := evs.FromRows(v, rows, 3, 3)
 	if err != nil {
-		t.Fatalf("FromRows: %v", err)
+		panic(err)
 	}
 	return s
 }
@@ -45,6 +51,12 @@ func testStructure(t *testing.T) evs.Structure {
 // message kinds too.
 func testPackets(t *testing.T) []any {
 	t.Helper()
+	return goldenPackets()
+}
+
+// goldenPackets returns one rich instance of every packet kind without
+// needing a *testing.T — the fuzz targets seed their corpora from it.
+func goldenPackets() []any {
 	a, b, c := pid("a", 1), pid("b", 2), pid("c", 1)
 	v := view(3, a)
 	vc := clock.Vector{a: 4, b: 9, c: 1}
@@ -87,7 +99,7 @@ func testPackets(t *testing.T) []any {
 				data2.ID: data2,
 			},
 			EChangeSeq: 3,
-			Structure:  testStructure(t),
+			Structure:  goldenStructure(),
 		},
 		Ack{Group: "g", Proposal: view(4, a), From: c, PredView: v},
 		Install{
@@ -96,11 +108,11 @@ func testPackets(t *testing.T) []any {
 				v:          {data1, data2},
 				view(2, b): {data2},
 			},
-			Structure: testStructure(t),
+			Structure: goldenStructure(),
 		},
 		Install{
 			Group: "g", Proposal: view(4, a), Comp: []ids.PID{a, b},
-			Structure: testStructure(t),
+			Structure: goldenStructure(),
 			Resend:    true,
 		},
 	}

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// TestWriteSeedCorpus regenerates the committed fuzz seed corpus from
+// the golden packets. It only runs when WIRE_WRITE_CORPUS=1 so normal
+// test runs never touch the checked-in files:
+//
+//	WIRE_WRITE_CORPUS=1 go test -run TestWriteSeedCorpus ./internal/transport/wire/
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("WIRE_WRITE_CORPUS") != "1" {
+		t.Skip("set WIRE_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	write := func(target, name string, b []byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := ids.PID{Site: "a", Inc: 1}
+	bb := ids.PID{Site: "b", Inc: 2}
+	var multi []byte
+	for _, pkt := range goldenPackets() {
+		enc, err := Encode(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("golden-%T", pkt)
+		write("FuzzDecode", name, enc)
+		frame, err := AppendFrame(nil, a, bb, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write("FuzzReadFrame", name, frame)
+		if multi, err = AppendFrame(multi, a, bb, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("FuzzReadFrame", "golden-multiframe", multi)
+}

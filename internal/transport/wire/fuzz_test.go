@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// Fuzz targets for the codec's two attack surfaces: Decode (payload
+// bodies off the wire) and ReadFrame (datagram framing). Both must
+// never panic and never allocate proportionally to attacker-chosen
+// counts — the count(min) guard and MaxFrame bound are exactly what
+// these harden. Seed corpora come from the golden packets covering all
+// seven kinds, plus truncated/corrupted variants the mutator grows
+// from; committed seeds live in testdata/fuzz.
+
+// FuzzDecode feeds arbitrary bytes to Decode. Any input Decode accepts
+// must survive a semantic round trip: re-encoding the decoded value
+// and decoding again yields a deeply equal value. (Byte-identity is
+// deliberately not required — varints in the input may be non-minimal,
+// and map iteration order varies; the *values* must be stable.)
+func FuzzDecode(f *testing.F) {
+	for _, pkt := range goldenPackets() {
+		b, err := Encode(pkt)
+		if err != nil {
+			f.Fatalf("encode golden %T: %v", pkt, err)
+		}
+		f.Add(b)
+		// Truncations and a corrupted kind byte teach the mutator the
+		// error paths early.
+		if len(b) > 2 {
+			f.Add(b[:len(b)/2])
+			bad := append([]byte(nil), b...)
+			bad[1] ^= 0xff
+			f.Add(bad)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(v)
+		if err != nil {
+			t.Fatalf("decoded value failed to re-encode: %T %v: %v", v, v, err)
+		}
+		v2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded bytes failed to decode: %T: %v", v, err)
+		}
+		if !reflect.DeepEqual(v, v2) {
+			t.Fatalf("round trip changed the value:\n first: %#v\nsecond: %#v", v, v2)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary datagrams to the frame iterator. The
+// loop must terminate (every successful read strictly consumes input),
+// never panic, and every recovered payload must re-frame cleanly.
+func FuzzReadFrame(f *testing.F) {
+	a := ids.PID{Site: "a", Inc: 1}
+	b := ids.PID{Site: "b", Inc: 2}
+
+	var single, multi []byte
+	for i, pkt := range goldenPackets() {
+		var err error
+		single, err = AppendFrame(nil, a, b, pkt)
+		if err != nil {
+			f.Fatalf("frame golden %T: %v", pkt, err)
+		}
+		f.Add(single)
+		if multi, err = AppendFrame(multi, a, b, pkt); err != nil {
+			f.Fatalf("append golden %T: %v", pkt, err)
+		}
+		if i%3 == 2 {
+			f.Add(multi)
+		}
+	}
+	f.Add(multi)
+	if len(single) > 3 {
+		f.Add(single[:len(single)-2]) // truncated body
+		f.Add(single[1:])             // mangled length prefix
+	}
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge varint length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			from, to, payload, next, err := ReadFrame(rest)
+			if err != nil {
+				return
+			}
+			if len(next) >= len(rest) {
+				t.Fatalf("ReadFrame made no progress: %d -> %d bytes", len(rest), len(next))
+			}
+			if _, err := AppendFrame(nil, from, to, payload); err != nil {
+				t.Fatalf("recovered frame failed to re-frame: %T: %v", payload, err)
+			}
+			rest = next
+		}
+	})
+}
